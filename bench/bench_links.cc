@@ -1,0 +1,102 @@
+// Copyright 2026 The obtree Authors.
+//
+// E5 — the link-chasing overhead of B-link search (Section 1):
+//
+//   "A search in the tree may be prolonged as a result of having to move
+//    occasionally from a node to its right neighbor, but we feel that
+//    this is more than compensated for by the fact that a process has to
+//    obtain considerably fewer locks."
+//
+// We vary the insertion rate running beside a fixed population of readers
+// and measure how many moveright (link-follow) steps a search performs on
+// average — it should stay a small fraction of a step even under heavy
+// splitting, because a link is only followed in the short window between
+// a split and its separator post.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/util/random.h"
+#include "obtree/workload/report.h"
+
+namespace obtree {
+namespace {
+
+struct LinkRow {
+  int insert_threads;
+  uint64_t searches;
+  uint64_t link_follows;
+  uint64_t splits;
+};
+
+LinkRow Run(int insert_threads, int reader_threads) {
+  TreeOptions options;
+  options.min_entries = 8;  // frequent splits
+  SagivTree tree(options);
+  constexpr Key kKeySpace = 1u << 24;
+  // Seed so searches have something to find.
+  for (Key k = 1; k <= 100'000; ++k) {
+    (void)tree.Insert(ScrambleKey(k) % kKeySpace + 1, k);
+  }
+  tree.stats()->Reset();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> inserters;
+  for (int t = 0; t < insert_threads; ++t) {
+    inserters.emplace_back([&, t]() {
+      Random rng(static_cast<uint64_t>(t) + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)tree.Insert(rng.UniformRange(1, kKeySpace), 1);
+      }
+    });
+  }
+  constexpr uint64_t kSearchesPerThread = 400'000;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&, t]() {
+      Random rng(static_cast<uint64_t>(t) + 99);
+      for (uint64_t i = 0; i < kSearchesPerThread; ++i) {
+        (void)tree.Search(rng.UniformRange(1, kKeySpace));
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  stop.store(true);
+  for (auto& i : inserters) i.join();
+
+  const StatsSnapshot stats = tree.stats()->Snapshot();
+  return LinkRow{insert_threads,
+                 kSearchesPerThread * static_cast<uint64_t>(reader_threads),
+                 stats.Get(StatId::kLinkFollows),
+                 stats.Get(StatId::kSplits)};
+}
+
+}  // namespace
+}  // namespace obtree
+
+int main() {
+  using namespace obtree;
+  PrintBanner("E5: moveright overhead vs insertion rate",
+              "searches rarely need links even under heavy splitting; the "
+              "occasional extra hop is the whole price of lock-free reads");
+
+  Table table({"insert threads", "searches", "splits during run",
+               "link follows", "links per search"});
+  for (int inserters : {0, 1, 2, 4}) {
+    const LinkRow row = Run(inserters, /*reader_threads=*/4);
+    table.AddRow({Fmt(static_cast<uint64_t>(row.insert_threads)),
+                  Fmt(row.searches), Fmt(row.splits),
+                  Fmt(row.link_follows),
+                  Fmt(static_cast<double>(row.link_follows) /
+                          static_cast<double>(row.searches),
+                      4)});
+  }
+  table.Print();
+  std::printf(
+      "(link follows include the inserters' own moveright steps, so the "
+      "per-search column is an upper bound)\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Copyright 2026 The obtree Authors.
+//
+// E9: node-level micro-benchmarks. The paper's cost model counts node
+// reads/writes; these measure what one such operation costs on the
+// in-memory page substrate: in-node binary search, leaf insert/remove,
+// split, merge, redistribution, and the seqlock get/put page copies.
+
+#include <benchmark/benchmark.h>
+
+#include "obtree/node/node.h"
+#include "obtree/storage/page_manager.h"
+#include "obtree/util/random.h"
+
+namespace obtree {
+namespace {
+
+Node MakeFullLeaf(uint32_t count) {
+  Node n;
+  n.Init(0, 0, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < count; ++i) {
+    n.entries[i] = Entry{static_cast<Key>(i) * 10 + 10, i};
+  }
+  n.count = count;
+  return n;
+}
+
+void BM_NodeLowerBound(benchmark::State& state) {
+  const uint32_t count = static_cast<uint32_t>(state.range(0));
+  Node n = MakeFullLeaf(count);
+  Random rng(1);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(count * 10 + 20);
+    benchmark::DoNotOptimize(n.LowerBound(k));
+  }
+}
+BENCHMARK(BM_NodeLowerBound)->Arg(16)->Arg(64)->Arg(254);
+
+void BM_NodeFindLeafValue(benchmark::State& state) {
+  Node n = MakeFullLeaf(static_cast<uint32_t>(state.range(0)));
+  Random rng(2);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(static_cast<uint64_t>(state.range(0)) * 10) + 1;
+    benchmark::DoNotOptimize(n.FindLeafValue(k));
+  }
+}
+BENCHMARK(BM_NodeFindLeafValue)->Arg(64)->Arg(254);
+
+void BM_NodeInsertRemoveCycle(benchmark::State& state) {
+  Node n = MakeFullLeaf(static_cast<uint32_t>(state.range(0)));
+  Random rng(3);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(static_cast<uint64_t>(state.range(0)) * 10) * 10 + 5;
+    if (!n.FindLeafValue(k).has_value() && n.count < Node::kMaxEntries) {
+      n.InsertLeafEntry(k, 1);
+      benchmark::DoNotOptimize(n.RemoveLeafEntry(k));
+    }
+  }
+}
+BENCHMARK(BM_NodeInsertRemoveCycle)->Arg(16)->Arg(128)->Arg(253);
+
+void BM_NodeSplit(benchmark::State& state) {
+  const Node full = MakeFullLeaf(Node::kMaxEntries - 1);
+  for (auto _ : state) {
+    Node a = full;
+    Node b;
+    a.SplitInto(&b, 7);
+    benchmark::DoNotOptimize(b.count);
+  }
+}
+BENCHMARK(BM_NodeSplit);
+
+void BM_NodeMerge(benchmark::State& state) {
+  Node left = MakeFullLeaf(60);
+  left.high = 1000;
+  left.link = 5;
+  Node right;
+  right.Init(0, 1000, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < 60; ++i) {
+    right.entries[i] = Entry{2000 + static_cast<Key>(i), i};
+  }
+  right.count = 60;
+  for (auto _ : state) {
+    Node a = left;
+    a.MergeFromRight(right);
+    benchmark::DoNotOptimize(a.count);
+  }
+}
+BENCHMARK(BM_NodeMerge);
+
+void BM_NodeRedistribute(benchmark::State& state) {
+  Node left_proto = MakeFullLeaf(10);
+  left_proto.high = 200;
+  left_proto.link = 5;
+  Node right_proto;
+  right_proto.Init(0, 200, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < 200; ++i) {
+    right_proto.entries[i] = Entry{1000 + static_cast<Key>(i), i};
+  }
+  right_proto.count = 200;
+  for (auto _ : state) {
+    Node a = left_proto;
+    Node b = right_proto;
+    benchmark::DoNotOptimize(a.RedistributeWithRight(&b, 60));
+  }
+}
+BENCHMARK(BM_NodeRedistribute);
+
+void BM_PageGet(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  pm.Put(id, w);
+  Page r;
+  for (auto _ : state) {
+    pm.Get(id, &r);
+    benchmark::DoNotOptimize(r.bytes[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_PageGet);
+
+void BM_PagePut(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  for (auto _ : state) {
+    pm.Put(id, w);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_PagePut);
+
+void BM_PaperLockUncontended(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  for (auto _ : state) {
+    pm.Lock(id);
+    pm.Unlock(id);
+  }
+}
+BENCHMARK(BM_PaperLockUncontended);
+
+void BM_EpochGuard(benchmark::State& state) {
+  EpochManager epoch;
+  for (auto _ : state) {
+    EpochManager::Guard guard(&epoch);
+    benchmark::DoNotOptimize(guard.start_time());
+  }
+}
+BENCHMARK(BM_EpochGuard);
+
+}  // namespace
+}  // namespace obtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Copyright 2026 The obtree Authors.
+//
+// Example: a dense secondary index for an order table.
+//
+// Scenario: an OLTP system keeps orders in a heap file; this program
+// maintains the dense index (order id -> record handle) that the paper's
+// B*-tree models, under a realistic mix of concurrent traffic:
+//   * checkout threads inserting fresh orders (ascending ids — the
+//     rightmost-leaf hotspot that stresses splits),
+//   * customer-service threads doing point lookups,
+//   * a fulfillment thread paginating through open orders,
+//   * an archiver deleting shipped orders (feeding compression).
+//
+//   $ ./order_index
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obtree/api/concurrent_map.h"
+#include "obtree/core/tree_checker.h"
+#include "obtree/util/histogram.h"
+#include "obtree/util/random.h"
+
+namespace {
+
+// A record handle encodes (file id, page, slot) like a real heap pointer.
+obtree::Value MakeHandle(uint32_t file, uint32_t page, uint16_t slot) {
+  return (static_cast<uint64_t>(file) << 48) |
+         (static_cast<uint64_t>(page) << 16) | slot;
+}
+
+}  // namespace
+
+int main() {
+  obtree::MapOptions options;
+  options.tree.min_entries = 48;
+  options.compression = obtree::CompressionMode::kQueueWorkers;
+  obtree::ConcurrentMap index(options);
+
+  constexpr int kCheckoutThreads = 3;
+  constexpr int kLookupThreads = 3;
+  constexpr uint64_t kOrdersPerThread = 60'000;
+
+  std::atomic<uint64_t> next_order_id{1};
+  std::atomic<uint64_t> archived{0};
+  std::atomic<bool> done{false};
+
+  // Checkout: allocate ascending order ids; insert index entries.
+  std::vector<std::thread> checkouts;
+  for (int t = 0; t < kCheckoutThreads; ++t) {
+    checkouts.emplace_back([&, t]() {
+      obtree::Random rng(static_cast<uint64_t>(t) * 7 + 1);
+      for (uint64_t i = 0; i < kOrdersPerThread; ++i) {
+        const obtree::Key id = next_order_id.fetch_add(1);
+        const obtree::Value handle = MakeHandle(
+            static_cast<uint32_t>(t), static_cast<uint32_t>(i / 64),
+            static_cast<uint16_t>(i % 64));
+        obtree::Status s = index.Insert(id, handle);
+        if (!s.ok()) {
+          std::printf("insert failed for order %" PRIu64 ": %s\n", id,
+                      s.ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+
+  // Customer service: point lookups with latency tracking.
+  std::vector<std::thread> lookups;
+  std::vector<obtree::Histogram> lookup_latency(kLookupThreads);
+  for (int t = 0; t < kLookupThreads; ++t) {
+    lookups.emplace_back([&, t]() {
+      obtree::Random rng(static_cast<uint64_t>(t) + 100);
+      obtree::Histogram& hist = lookup_latency[static_cast<size_t>(t)];
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t hi = next_order_id.load(std::memory_order_acquire);
+        if (hi < 2) continue;
+        const obtree::Key id = rng.UniformRange(1, hi - 1);
+        const auto start = std::chrono::steady_clock::now();
+        (void)index.Get(id);  // NotFound is fine: it may be archived
+        hist.Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
+    });
+  }
+
+  // Fulfillment: paginate 100 open orders at a time, oldest first.
+  std::thread fulfillment([&]() {
+    obtree::Key cursor = 1;
+    uint64_t processed = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto page = index.ScanLimit(cursor, 100);
+      if (page.empty()) {
+        cursor = 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      processed += page.size();
+      cursor = page.back().first + 1;
+    }
+    std::printf("[fulfillment] processed %" PRIu64 " order pages entries\n",
+                processed);
+  });
+
+  // Archiver: ship-and-delete the oldest half of the id space, in bursts.
+  std::thread archiver([&]() {
+    obtree::Key archive_cursor = 1;
+    obtree::Random rng(31337);
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t hi = next_order_id.load(std::memory_order_acquire);
+      if (hi < 10'000 || archive_cursor > hi / 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      // Archive a burst of up to 2000 oldest orders.
+      auto batch = index.ScanLimit(archive_cursor, 2000);
+      for (const auto& [id, handle] : batch) {
+        if (id > hi / 2) break;
+        if (index.Erase(id).ok()) archived.fetch_add(1);
+        archive_cursor = id + 1;
+      }
+    }
+  });
+
+  for (auto& c : checkouts) c.join();
+  done.store(true, std::memory_order_release);
+  for (auto& l : lookups) l.join();
+  fulfillment.join();
+  archiver.join();
+
+  obtree::Histogram merged;
+  for (const auto& h : lookup_latency) merged.Merge(h);
+  std::printf("\nlookup latency (ns): %s\n", merged.ToString().c_str());
+
+  index.CompressNow();
+  const obtree::TreeShape shape = index.Shape();
+  const uint64_t total =
+      static_cast<uint64_t>(kCheckoutThreads) * kOrdersPerThread;
+  std::printf("orders inserted: %" PRIu64 ", archived: %" PRIu64
+              ", live index entries: %" PRIu64 "\n",
+              total, archived.load(), index.Size());
+  std::printf("index shape after compaction: height=%u nodes=%" PRIu64
+              " avg leaf fill %.2f\n",
+              shape.height, shape.num_nodes, shape.avg_leaf_fill);
+  if (index.Size() != total - archived.load()) {
+    std::printf("ERROR: index size mismatch!\n");
+    return 1;
+  }
+  const obtree::Status valid = index.ValidateStructure();
+  std::printf("structure valid: %s\n", valid.ToString().c_str());
+  return valid.ok() ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/api/concurrent_map.h"
+
+#include <algorithm>
+
+#include "obtree/core/queue_compressor.h"
+#include "obtree/core/scan_compressor.h"
+#include "obtree/core/tree_checker.h"
+
+namespace obtree {
+
+ConcurrentMap::ConcurrentMap(const MapOptions& options) : options_(options) {
+  TreeOptions tree_options = options_.tree;
+  if (options_.compression == CompressionMode::kQueueWorkers) {
+    tree_options.enqueue_underfull_on_delete = true;
+  }
+  tree_ = std::make_unique<SagivTree>(tree_options);
+
+  const int workers = std::max(1, options_.compression_threads);
+  switch (options_.compression) {
+    case CompressionMode::kNone:
+      break;
+    case CompressionMode::kBackgroundScan:
+      scan_compressor_ = std::make_unique<ScanCompressor>(tree_.get());
+      for (int i = 0; i < workers; ++i) {
+        workers_.emplace_back([this]() {
+          scan_compressor_->RunUntil(&stop_, std::chrono::milliseconds(2));
+        });
+      }
+      break;
+    case CompressionMode::kQueueWorkers:
+      queue_ = std::make_unique<CompressionQueue>();
+      queue_->RegisterWith(tree_->epoch());
+      tree_->AttachCompressionQueue(queue_.get());
+      for (int i = 0; i < workers; ++i) {
+        queue_compressors_.push_back(
+            std::make_unique<QueueCompressor>(tree_.get(), queue_.get()));
+        workers_.emplace_back([this, i]() {
+          queue_compressors_[static_cast<size_t>(i)]->RunUntil(
+              &stop_, std::chrono::milliseconds(1));
+        });
+      }
+      break;
+  }
+}
+
+ConcurrentMap::~ConcurrentMap() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+  // Detach before the queue dies (the tree outlives it in this class, but
+  // be explicit about the dependency).
+  tree_->AttachCompressionQueue(nullptr);
+}
+
+Status ConcurrentMap::Insert(Key key, Value value) {
+  return tree_->Insert(key, value);
+}
+
+Result<Value> ConcurrentMap::Get(Key key) const { return tree_->Search(key); }
+
+Status ConcurrentMap::Erase(Key key) { return tree_->Delete(key); }
+
+Status ConcurrentMap::Upsert(Key key, Value value) {
+  Status erased = tree_->Delete(key);
+  if (!erased.ok() && !erased.IsNotFound()) return erased;
+  // A concurrent Insert can slip in here; retry a few times.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Status s = tree_->Insert(key, value);
+    if (!s.IsAlreadyExists()) return s;
+    s = tree_->Delete(key);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::Aborted("upsert lost repeated races on the same key");
+}
+
+size_t ConcurrentMap::Scan(
+    Key lo, Key hi, const std::function<bool(Key, Value)>& visitor) const {
+  return tree_->Scan(lo, hi, visitor);
+}
+
+std::vector<std::pair<Key, Value>> ConcurrentMap::ScanLimit(
+    Key from, size_t limit) const {
+  std::vector<std::pair<Key, Value>> out;
+  if (limit == 0) return out;
+  out.reserve(limit);
+  tree_->Scan(from, kMaxUserKey, [&](Key k, Value v) {
+    out.emplace_back(k, v);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+void ConcurrentMap::CompressNow() {
+  switch (options_.compression) {
+    case CompressionMode::kNone:
+    case CompressionMode::kBackgroundScan: {
+      ScanCompressor compressor(tree_.get());
+      for (int pass = 0; pass < 128; ++pass) {
+        if (compressor.FullPass() == 0) break;
+      }
+      break;
+    }
+    case CompressionMode::kQueueWorkers: {
+      QueueCompressor compressor(tree_.get(), queue_.get());
+      compressor.Drain();
+      // Queue mode only revisits enqueued nodes; a final sweep picks up
+      // nodes whose neighbors were never enqueued.
+      ScanCompressor sweeper(tree_.get());
+      for (int pass = 0; pass < 128; ++pass) {
+        if (sweeper.FullPass() == 0) break;
+      }
+      break;
+    }
+  }
+  tree_->internal_pager()->Reclaim();
+}
+
+ConcurrentMap::Cursor::Cursor(const ConcurrentMap* map, Key start)
+    : map_(map), next_key_(start < 1 ? 1 : start) {}
+
+void ConcurrentMap::Cursor::Seek(Key target) {
+  next_key_ = target < 1 ? 1 : target;
+  exhausted_ = false;
+  buffer_.clear();
+  buffer_index_ = 0;
+}
+
+bool ConcurrentMap::Cursor::Next(Key* key, Value* value) {
+  if (buffer_index_ >= buffer_.size()) {
+    if (exhausted_) return false;
+    buffer_ = map_->ScanLimit(next_key_, kBatch);
+    buffer_index_ = 0;
+    if (buffer_.empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    if (buffer_.size() < kBatch) exhausted_ = true;
+    if (buffer_.back().first == kMaxUserKey) {
+      exhausted_ = true;
+    } else {
+      next_key_ = buffer_.back().first + 1;
+    }
+  }
+  *key = buffer_[buffer_index_].first;
+  *value = buffer_[buffer_index_].second;
+  ++buffer_index_;
+  return true;
+}
+
+TreeShape ConcurrentMap::Shape() const {
+  return TreeChecker(tree_.get()).ComputeShape();
+}
+
+Status ConcurrentMap::ValidateStructure() const {
+  return TreeChecker(tree_.get()).CheckStructure();
+}
+
+}  // namespace obtree

@@ -1,0 +1,159 @@
+// Copyright 2026 The obtree Authors.
+//
+// ConcurrentMap: the library's primary public entry point. It bundles a
+// SagivTree with a compression deployment (Section 5's three options) and
+// manages the background threads, so applications get an ordered
+// key-value map with lock-free reads, single-lock writes, and automatic
+// space compaction.
+//
+//   obtree::MapOptions options;
+//   options.compression = obtree::CompressionMode::kQueueWorkers;
+//   obtree::ConcurrentMap map(options);
+//   map.Insert(42, handle);
+//   auto v = map.Get(42);
+//   map.Erase(42);
+
+#ifndef OBTREE_API_CONCURRENT_MAP_H_
+#define OBTREE_API_CONCURRENT_MAP_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obtree/core/compression_queue.h"
+#include "obtree/core/options.h"
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/util/common.h"
+#include "obtree/util/stats.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+class QueueCompressor;
+class ScanCompressor;
+struct TreeShape;
+
+/// How the map keeps nodes at least half full (Section 5).
+enum class CompressionMode {
+  /// No compression: deletions never restructure (the Lehman-Yao
+  /// behavior the paper improves on).
+  kNone,
+  /// One background process periodically sweeps the whole tree
+  /// (Sections 5.1-5.2).
+  kBackgroundScan,
+  /// Deletions enqueue under-full nodes; worker threads drain a shared
+  /// queue (Section 5.4, deployment (2); one worker = deployment (1)).
+  kQueueWorkers,
+};
+
+/// Construction-time configuration of a ConcurrentMap.
+struct MapOptions {
+  /// Node size / restart tunables of the underlying tree.
+  TreeOptions tree;
+  /// Compression deployment.
+  CompressionMode compression = CompressionMode::kQueueWorkers;
+  /// Background workers (>= 1) for the chosen compression mode.
+  int compression_threads = 1;
+};
+
+/// Thread-safe ordered map from Key to Value.
+class ConcurrentMap {
+ public:
+  explicit ConcurrentMap(const MapOptions& options = MapOptions());
+
+  /// Stops and joins background compression threads.
+  ~ConcurrentMap();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(ConcurrentMap);
+
+  /// Construction status (InvalidArgument if options were rejected).
+  const Status& init_status() const { return tree_->init_status(); }
+
+  /// Insert a new key. AlreadyExists if present; the stored value wins.
+  Status Insert(Key key, Value value);
+
+  /// Point lookup. Lock-free: never blocks and never blocks writers.
+  Result<Value> Get(Key key) const;
+
+  /// Remove a key. NotFound if absent.
+  Status Erase(Key key);
+
+  /// Insert-or-replace. Implemented as Erase+Insert; NOT atomic with
+  /// respect to concurrent operations on the same key (the paper's model
+  /// has no in-place update), but each step is individually atomic.
+  Status Upsert(Key key, Value value);
+
+  /// Visit pairs with lo <= key <= hi in ascending order; the visitor
+  /// returns false to stop. Returns pairs visited.
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, Value)>& visitor) const;
+
+  /// Collect up to `limit` pairs starting at `from` (pagination helper).
+  std::vector<std::pair<Key, Value>> ScanLimit(Key from, size_t limit) const;
+
+  uint64_t Size() const { return tree_->Size(); }
+  bool Empty() const { return Size() == 0; }
+  uint32_t Height() const { return tree_->Height(); }
+
+  /// Run compression synchronously until a fixpoint (blocks the caller,
+  /// not concurrent operations). Useful before measuring space.
+  void CompressNow();
+
+  /// Snapshot of operation counters.
+  StatsSnapshot Stats() const { return tree_->stats()->Snapshot(); }
+
+  /// Structural statistics (walks the tree; prefer quiescent moments).
+  TreeShape Shape() const;
+
+  /// Full structural validation (quiescent only).
+  Status ValidateStructure() const;
+
+  /// Forward cursor over the map. Resumable across concurrent inserts,
+  /// deletes, and compression: each batch is fetched fresh from the tree,
+  /// so the cursor observes keys >= its position that are live at fetch
+  /// time (no snapshot isolation — the paper's model has none). Keys are
+  /// delivered in strictly ascending order exactly once.
+  class Cursor {
+   public:
+    /// Positions the cursor at the smallest key >= start.
+    explicit Cursor(const ConcurrentMap* map, Key start = 1);
+
+    /// Fetch the next pair. Returns false when the key space past the
+    /// current position is (currently) empty.
+    bool Next(Key* key, Value* value);
+
+    /// Reposition at the smallest key >= target and discard the buffer.
+    void Seek(Key target);
+
+    /// The next key position the cursor will read from.
+    Key position() const { return next_key_; }
+
+   private:
+    static constexpr size_t kBatch = 64;
+
+    const ConcurrentMap* map_;
+    Key next_key_;
+    bool exhausted_ = false;
+    std::vector<std::pair<Key, Value>> buffer_;
+    size_t buffer_index_ = 0;
+  };
+
+  /// Escape hatch for benchmarks and tests.
+  SagivTree* tree() { return tree_.get(); }
+  const SagivTree* tree() const { return tree_.get(); }
+  CompressionQueue* queue() { return queue_.get(); }
+
+ private:
+  MapOptions options_;
+  std::unique_ptr<SagivTree> tree_;
+  std::unique_ptr<CompressionQueue> queue_;
+  std::unique_ptr<ScanCompressor> scan_compressor_;
+  std::vector<std::unique_ptr<QueueCompressor>> queue_compressors_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_API_CONCURRENT_MAP_H_

@@ -1,0 +1,7 @@
+// Copyright 2026 The obtree Authors.
+//
+// CoarseTree is header-only; this translation unit anchors the target.
+
+#include "obtree/baseline/coarse_tree.h"
+
+namespace obtree {}  // namespace obtree

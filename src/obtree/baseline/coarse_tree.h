@@ -1,0 +1,65 @@
+// Copyright 2026 The obtree Authors.
+//
+// Baseline: the degenerate "one big lock" scheduler — a single tree-wide
+// reader/writer lock serializes all updaters and lets readers share. This
+// is the zero-concurrency anchor every concurrent-index paper implicitly
+// compares against.
+
+#ifndef OBTREE_BASELINE_COARSE_TREE_H_
+#define OBTREE_BASELINE_COARSE_TREE_H_
+
+#include <functional>
+#include <shared_mutex>
+
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/util/common.h"
+
+namespace obtree {
+
+/// SagivTree behind one global reader/writer lock.
+class CoarseTree {
+ public:
+  explicit CoarseTree(const TreeOptions& options = TreeOptions())
+      : tree_(options) {}
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(CoarseTree);
+
+  const Status& init_status() const { return tree_.init_status(); }
+
+  Status Insert(Key key, Value value) {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return tree_.Insert(key, value);
+  }
+
+  Result<Value> Search(Key key) const {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return tree_.Search(key);
+  }
+
+  Status Delete(Key key) {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return tree_.Delete(key);
+  }
+
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, Value)>& visitor) const {
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return tree_.Scan(lo, hi, visitor);
+  }
+
+  uint64_t Size() const { return tree_.Size(); }
+  uint32_t Height() const { return tree_.Height(); }
+
+  const TreeOptions& options() const { return tree_.options(); }
+  StatsCollector* stats() const { return tree_.stats(); }
+
+  /// The wrapped tree (tests validate its structure directly).
+  SagivTree* inner() { return &tree_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  SagivTree tree_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_BASELINE_COARSE_TREE_H_

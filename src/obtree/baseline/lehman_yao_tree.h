@@ -1,0 +1,82 @@
+// Copyright 2026 The obtree Authors.
+//
+// Baseline: the Lehman-Yao B-link tree (ACM TODS 1981), the algorithm the
+// paper improves on. Identical node layout and storage substrate as
+// SagivTree; the difference is the insertion ascent: Lehman-Yao holds the
+// lock on the just-split child WHILE acquiring (and moving right to) the
+// parent, so an insertion holds two locks across the hand-off and three
+// transiently during the locked moveright — exactly the "two or three
+// nodes" Sagiv's abstract cites. Deletion is the trivial one (remove from
+// the leaf, no restructuring); Lehman-Yao has no compression.
+
+#ifndef OBTREE_BASELINE_LEHMAN_YAO_TREE_H_
+#define OBTREE_BASELINE_LEHMAN_YAO_TREE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obtree/core/options.h"
+#include "obtree/node/node.h"
+#include "obtree/storage/page_manager.h"
+#include "obtree/storage/prime_block.h"
+#include "obtree/util/common.h"
+#include "obtree/util/epoch.h"
+#include "obtree/util/stats.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+/// Concurrent B-link tree with the Lehman-Yao locking protocol.
+class LehmanYaoTree {
+ public:
+  explicit LehmanYaoTree(const TreeOptions& options = TreeOptions());
+  ~LehmanYaoTree();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(LehmanYaoTree);
+
+  const Status& init_status() const { return init_status_; }
+
+  /// Insert (key, value); AlreadyExists if present.
+  Status Insert(Key key, Value value);
+
+  /// Lock-free lookup.
+  Result<Value> Search(Key key) const;
+
+  /// Remove a key from its leaf; no restructuring (the [8] deletion).
+  Status Delete(Key key);
+
+  /// Ascending range visit over leaf links.
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, Value)>& visitor) const;
+
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+  uint32_t Height() const { return prime_.Read().num_levels; }
+
+  const TreeOptions& options() const { return options_; }
+  StatsCollector* stats() const { return stats_.get(); }
+  PageManager* internal_pager() const { return pager_.get(); }
+  const PrimeBlock* internal_prime() const { return &prime_; }
+
+ private:
+  // Non-locking descent to the leaf whose range holds `key`; stacks the
+  // nodes come down through when stack != nullptr.
+  PageId Descend(Key key, std::vector<PageId>* stack) const;
+
+  // With `*current` locked and its image in *page: follow links (locking
+  // the next node BEFORE unlocking the current one — the Lehman-Yao
+  // coupled moveright) until key <= high.
+  void MoveRightLocked(Key key, PageId* current, Page* page) const;
+
+  TreeOptions options_;
+  Status init_status_;
+  std::unique_ptr<StatsCollector> stats_;
+  std::unique_ptr<EpochManager> epoch_;
+  std::unique_ptr<PageManager> pager_;
+  PrimeBlock prime_;
+  std::atomic<uint64_t> size_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_BASELINE_LEHMAN_YAO_TREE_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The obtree Authors.
+//
+// Tunables shared by the Sagiv tree, its compressors, and the baselines.
+
+#ifndef OBTREE_CORE_OPTIONS_H_
+#define OBTREE_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "obtree/node/node.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+/// Configuration of a tree instance.
+struct TreeOptions {
+  /// The paper's k: every node (except the root) holds between k and 2k
+  /// entries. Must satisfy 2 <= k <= kMaxMinEntries (2k+1 entries must fit
+  /// a page during a split-with-insert). k = 1 is rejected: our uniform
+  /// node layout gives internal nodes 2k children (the paper's layout
+  /// gives them 2k+1), and 2-children internal nodes degenerate under
+  /// monotone insertion patterns — see DESIGN.md §6.
+  uint32_t min_entries = 60;
+
+  /// Safety valve: an operation that restarts more than this many times
+  /// reports Status::Internal instead of looping forever. The paper proves
+  /// restarts are finite for finite schedules; this guards against bugs.
+  int max_restarts = 1 << 20;
+
+  /// Bound on the §5.2 case-(1) wait ("wait until two is inserted into F"):
+  /// number of yield-retry rounds a compressor performs before giving up on
+  /// the pair for this pass / requeueing.
+  int compression_wait_retries = 256;
+
+  /// When true, a deletion that leaves a leaf under-full pushes it onto the
+  /// tree's compression queue (Section 5.4). A QueueCompressor must be
+  /// draining the queue for space to be recovered.
+  bool enqueue_underfull_on_delete = false;
+
+  /// Simulated block-device latency per page get/put, in nanoseconds
+  /// (0 = pure in-memory). The paper's nodes live on secondary storage;
+  /// enabling this reproduces the I/O-bound regime its concurrency
+  /// arguments target (see PageManager::set_simulated_io_ns).
+  uint64_t simulated_io_ns = 0;
+
+  static constexpr uint32_t kMaxMinEntries = (Node::kMaxEntries - 1) / 2;
+
+  /// Node capacity (2k).
+  uint32_t capacity() const { return 2 * min_entries; }
+
+  /// Validate option values.
+  Status Validate() const {
+    if (min_entries < 2 || min_entries > kMaxMinEntries) {
+      return Status::InvalidArgument("min_entries out of range");
+    }
+    if (max_restarts < 1) {
+      return Status::InvalidArgument("max_restarts must be positive");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_CORE_OPTIONS_H_

@@ -1,0 +1,545 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/core/sagiv_tree.h"
+
+#include <cassert>
+#include <thread>
+
+#include "obtree/core/compression_queue.h"
+
+namespace obtree {
+
+namespace {
+
+// Hard bound on pointer-chasing steps in a single descent attempt. A valid
+// tree never approaches this; it converts corruption into Status::Internal
+// instead of a hang.
+constexpr int kMaxStepsPerAttempt = 1 << 22;
+
+}  // namespace
+
+SagivTree::SagivTree(const TreeOptions& options)
+    : options_(options),
+      init_status_(options.Validate()),
+      stats_(new StatsCollector()),
+      epoch_(new EpochManager()),
+      queue_(nullptr),
+      size_(0) {
+  if (!init_status_.ok()) options_ = TreeOptions();
+  pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get());
+  pager_->set_simulated_io_ns(options_.simulated_io_ns);
+
+  // An empty tree is a single root leaf covering (-inf, +inf].
+  Result<PageId> root = pager_->Allocate();
+  assert(root.ok());
+  Page page;
+  page.Clear();
+  Node* node = page.As<Node>();
+  node->Init(/*lvl=*/0, kMinusInfinity, kPlusInfinity, kInvalidPageId);
+  node->set_root(true);
+  pager_->Put(*root, page);
+
+  PrimeBlockData pb;
+  pb.num_levels = 1;
+  pb.leftmost[0] = *root;
+  prime_.Write(pb);
+}
+
+SagivTree::~SagivTree() = default;
+
+void SagivTree::AttachCompressionQueue(CompressionQueue* queue) {
+  queue_.store(queue, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Descending
+// ---------------------------------------------------------------------------
+
+Result<PageId> SagivTree::internal_FindNodeAtLevel(
+    Key key, uint32_t level, std::vector<PageId>* stack_out,
+    bool wait_for_level) const {
+  int restarts = 0;
+  int waits = 0;
+  for (;;) {
+    if (stack_out) stack_out->clear();
+    const PrimeBlockData pb = prime_.Read();
+    if (pb.num_levels <= level) {
+      if (!wait_for_level) {
+        return Status::NotFound("level does not exist");
+      }
+      // Section 3.3: a split outran the creation of the level it must post
+      // to (or the level was collapsed and will be regrown by a pending
+      // insertion). Wait for the prime block to show the level.
+      if (++waits > options_.max_restarts) {
+        return Status::Internal("level never appeared");
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    PageId current = pb.root();
+    Page page;
+    Node* node = page.As<Node>();
+    bool restart = false;
+    for (int steps = 0;; ++steps) {
+      if (steps > kMaxStepsPerAttempt) {
+        return Status::Internal("descent did not terminate");
+      }
+      pager_->Get(current, &page);
+      if (node->is_deleted()) {
+        const PageId target = node->merge_target;
+        if (target == kInvalidPageId) {
+          restart = true;
+          break;
+        }
+        stats_->Add(StatId::kMergePointerFollows);
+        current = target;
+        continue;
+      }
+      if (node->level < level || key <= node->low) {
+        // Wrong node: either a reclaimed-and-reused page (stale pointer) or
+        // data moved left by a compression (Section 5.2 case (2)).
+        restart = true;
+        break;
+      }
+      if (key > node->high) {
+        const PageId link = node->link;
+        if (link == kInvalidPageId) {
+          restart = true;  // rightmost has high=+inf; this node is stale
+          break;
+        }
+        stats_->Add(StatId::kLinkFollows);
+        current = link;
+        continue;
+      }
+      if (node->level == level) return current;
+      if (stack_out) stack_out->push_back(current);
+      current = node->ChildFor(key);
+    }
+    (void)restart;
+    stats_->Add(StatId::kRestarts);
+    if (++restarts > options_.max_restarts) {
+      return Status::Internal("too many restarts in FindNodeAtLevel");
+    }
+  }
+}
+
+Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
+                                Page* page, PageId* leaf_page) const {
+  Node* node = page->As<Node>();
+  int restarts = 0;
+  for (;;) {
+    const PrimeBlockData pb = prime_.Read();
+    PageId current = pb.root();
+    // §5.2 backtrack optimization: remember the node we came down
+    // through; a search routed to a wrong node first retries from there
+    // and only restarts at the root if the previous node is also wrong.
+    PageId previous = kInvalidPageId;
+    bool backtracked = false;
+    int backtracks_this_attempt = 0;
+    bool restart = false;
+    for (int steps = 0;; ++steps) {
+      if (steps > kMaxStepsPerAttempt) {
+        return Status::Internal("descent did not terminate");
+      }
+      pager_->Get(current, page);
+      bool wrong = false;
+      if (node->is_deleted()) {
+        const PageId target = node->merge_target;
+        if (target != kInvalidPageId) {
+          stats_->Add(StatId::kMergePointerFollows);
+          current = target;
+          continue;
+        }
+        wrong = true;
+      } else if (key <= node->low) {
+        wrong = true;
+      }
+      if (wrong) {
+        if (previous != kInvalidPageId && !backtracked &&
+            ++backtracks_this_attempt <= 4) {
+          // One backtrack per wrong-node event, a few per descent: the
+          // previous node re-evaluates next(A, v) against fresh contents;
+          // if it keeps routing us wrong, fall back to a root restart.
+          stats_->Add(StatId::kBacktracks);
+          current = previous;
+          previous = kInvalidPageId;
+          backtracked = true;
+          continue;
+        }
+        restart = true;
+        break;
+      }
+      if (key > node->high) {
+        const PageId link = node->link;
+        if (link == kInvalidPageId) {
+          restart = true;
+          break;
+        }
+        stats_->Add(StatId::kLinkFollows);
+        previous = current;
+        backtracked = false;
+        current = link;
+        continue;
+      }
+      if (node->is_leaf()) {
+        *leaf_page = current;
+        return Status::OK();
+      }
+      previous = current;
+      backtracked = false;
+      current = node->ChildFor(key);
+    }
+    (void)restart;
+    stats_->Add(StatId::kRestarts);
+    if (++restarts > options_.max_restarts) {
+      return Status::Internal("too many restarts in search");
+    }
+    // Re-pin: a restarted search may legally observe a fresher tree, and
+    // releasing the old pin lets reclamation advance (Section 5.3).
+    guard->Refresh();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Result<Value> SagivTree::Search(Key key) const {
+  if (key < 1 || key > kMaxUserKey) {
+    return Status::InvalidArgument("key out of range");
+  }
+  stats_->Add(StatId::kSearches);
+  EpochManager::Guard guard(epoch_.get());
+  Page page;
+  PageId leaf_page;
+  Status s = DescendToLeaf(key, &guard, &page, &leaf_page);
+  if (!s.ok()) return s;
+  std::optional<Value> v = page.As<Node>()->FindLeafValue(key);
+  if (!v.has_value()) return Status::NotFound();
+  return *v;
+}
+
+size_t SagivTree::Scan(Key lo, Key hi,
+                       const std::function<bool(Key, Value)>& visitor) const {
+  if (lo < 1) lo = 1;
+  if (hi > kMaxUserKey) hi = kMaxUserKey;
+  if (lo > hi) return 0;
+  stats_->Add(StatId::kSearches);
+  EpochManager::Guard guard(epoch_.get());
+
+  size_t visited = 0;
+  Key next_key = lo;
+  Page page;
+  Node* node = page.As<Node>();
+  bool have_leaf = false;
+  for (;;) {
+    if (!have_leaf) {
+      PageId leaf_page;
+      if (!DescendToLeaf(next_key, &guard, &page, &leaf_page).ok()) {
+        return visited;
+      }
+    }
+    // Deliver this leaf's keys in [next_key, hi].
+    for (uint32_t i = node->LowerBound(next_key); i < node->count; ++i) {
+      if (node->entries[i].key > hi) return visited;
+      ++visited;
+      if (!visitor(node->entries[i].key, node->entries[i].value)) {
+        return visited;
+      }
+    }
+    if (node->high >= hi || node->high == kPlusInfinity) return visited;
+    next_key = node->high + 1;
+    // Fast path: follow the leaf link; fall back to a fresh descent when
+    // compression moved the range.
+    const PageId link = node->link;
+    have_leaf = false;
+    if (link != kInvalidPageId) {
+      pager_->Get(link, &page);
+      if (!node->is_deleted() && node->is_leaf() && next_key > node->low &&
+          next_key <= node->high) {
+        stats_->Add(StatId::kLinkFollows);
+        have_leaf = true;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (Figs. 5 and 6)
+// ---------------------------------------------------------------------------
+
+Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
+                                            PageId start,
+                                            std::vector<PageId>* stack,
+                                            int* restarts, Page* page,
+                                            bool wait_for_level) const {
+  Node* node = page->As<Node>();
+  PageId current = start;
+  for (int steps = 0;; ++steps) {
+    if (steps > kMaxStepsPerAttempt) {
+      return Status::Internal("moveright did not terminate");
+    }
+    pager_->Lock(current);
+    pager_->Get(current, page);
+    bool restart = false;
+    if (node->is_deleted()) {
+      const PageId target = node->merge_target;
+      pager_->Unlock(current);
+      if (target != kInvalidPageId) {
+        stats_->Add(StatId::kMergePointerFollows);
+        current = target;
+        continue;
+      }
+      restart = true;
+    } else if (node->level != level || ins_key <= node->low) {
+      pager_->Unlock(current);
+      restart = true;
+    } else if (ins_key > node->high) {
+      const PageId link = node->link;
+      pager_->Unlock(current);
+      if (link == kInvalidPageId) {
+        restart = true;
+      } else {
+        stats_->Add(StatId::kLinkFollows);
+        current = link;
+        continue;
+      }
+    } else {
+      return current;  // locked; image in *page
+    }
+    assert(restart);
+    (void)restart;
+    stats_->Add(StatId::kRestarts);
+    if (++(*restarts) > options_.max_restarts) {
+      return Status::Internal("too many restarts acquiring target node");
+    }
+    Result<PageId> r =
+        internal_FindNodeAtLevel(ins_key, level, stack, wait_for_level);
+    if (!r.ok()) return r.status();
+    current = *r;
+  }
+}
+
+void SagivTree::ApplyInsert(Node* node, Key key, uint64_t down_ptr) {
+  if (node->is_leaf()) {
+    node->InsertLeafEntry(key, static_cast<Value>(down_ptr));
+  } else {
+    bool ok = node->InsertChildSplit(key, static_cast<PageId>(down_ptr));
+    assert(ok);
+    (void)ok;
+  }
+}
+
+void SagivTree::InsertIntoSafe(Page* page, PageId page_id, Key key,
+                               uint64_t down_ptr, AscentState* st) {
+  Node* node = page->As<Node>();
+  ApplyInsert(node, key, down_ptr);
+  pager_->Put(page_id, *page);
+  pager_->Unlock(page_id);
+  st->completed = true;
+}
+
+Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
+                                   uint64_t down_ptr, AscentState* st) {
+  Node* node = page->As<Node>();
+  Result<PageId> right_page = pager_->Allocate();
+  if (!right_page.ok()) {
+    pager_->Unlock(page_id);
+    return right_page.status();
+  }
+  ApplyInsert(node, key, down_ptr);
+
+  Page right_buf;
+  Node* right = right_buf.As<Node>();
+  node->SplitInto(right, *right_page);
+  stats_->Add(StatId::kSplits);
+
+  // Write the new node B first, then rewrite A; the instant A's image
+  // lands, B is reachable through A's link (Fig. 3). One lock throughout.
+  pager_->Put(*right_page, right_buf);
+  pager_->Put(page_id, *page);
+  pager_->Unlock(page_id);
+
+  st->sep = node->high;
+  st->new_child = *right_page;
+  return Status::OK();
+}
+
+Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
+                                       uint64_t down_ptr, AscentState* st) {
+  Node* node = page->As<Node>();
+  if (node->level + 2 > kMaxLevels) {
+    pager_->Unlock(page_id);
+    return Status::ResourceExhausted("tree height limit reached");
+  }
+  Result<PageId> right_page = pager_->Allocate();
+  if (!right_page.ok()) {
+    pager_->Unlock(page_id);
+    return right_page.status();
+  }
+  Result<PageId> root_page = pager_->Allocate();
+  if (!root_page.ok()) {
+    pager_->Unlock(page_id);
+    return root_page.status();
+  }
+  ApplyInsert(node, key, down_ptr);
+
+  Page right_buf;
+  Node* right = right_buf.As<Node>();
+  node->SplitInto(right, *right_page);
+  node->set_root(false);  // the root bit moves to R in the same rewrite
+  stats_->Add(StatId::kSplits);
+
+  pager_->Put(*right_page, right_buf);
+  pager_->Put(page_id, *page);
+
+  // Build the new root R = (current, v, q, u, nil) — in entry form
+  // [(high(A) -> A), (high(B) -> B)] — and only then rewrite the prime
+  // block. We still hold the lock on the old root, which is what licenses
+  // the prime-block rewrite (Section 3.3).
+  Page root_buf;
+  Node* root = root_buf.As<Node>();
+  root->Init(static_cast<uint16_t>(node->level + 1), kMinusInfinity,
+             kPlusInfinity, kInvalidPageId);
+  root->set_root(true);
+  root->entries[0] = Entry{node->high, page_id};
+  root->entries[1] = Entry{right->high, *right_page};
+  root->count = 2;
+  pager_->Put(*root_page, root_buf);
+
+  PrimeBlockData pb = prime_.Read();
+  assert(pb.num_levels == node->level + 1u);
+  pb.leftmost[pb.num_levels] = *root_page;
+  pb.num_levels++;
+  prime_.Write(pb);
+  stats_->Add(StatId::kRootCreations);
+
+  pager_->Unlock(page_id);
+  st->completed = true;
+  return Status::OK();
+}
+
+Status SagivTree::Insert(Key key, Value value) {
+  if (key < 1 || key > kMaxUserKey) {
+    return Status::InvalidArgument("key out of range");
+  }
+  stats_->Add(StatId::kInserts);
+  EpochManager::Guard guard(epoch_.get());
+
+  std::vector<PageId> stack;
+  Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
+  if (!found.ok()) return found.status();
+
+  PageId current = *found;
+  Key ins_key = key;
+  uint64_t down_ptr = value;
+  uint32_t level = 0;
+  int restarts = 0;
+  Page page;
+  Node* node = page.As<Node>();
+
+  for (;;) {  // the "repeat ... until completed" of Fig. 5
+    Result<PageId> target =
+        AcquireTargetNode(ins_key, level, current, &stack, &restarts, &page);
+    if (!target.ok()) return target.status();
+    current = *target;
+
+    if (level == 0 && node->FindLeafValue(ins_key).has_value()) {
+      pager_->Unlock(current);
+      return Status::AlreadyExists("key already in the tree");
+    }
+
+    AscentState st;
+    if (node->count < options_.capacity()) {
+      InsertIntoSafe(&page, current, ins_key, down_ptr, &st);
+    } else if (!node->is_root()) {
+      Status s = InsertIntoUnsafe(&page, current, ins_key, down_ptr, &st);
+      if (!s.ok()) return s;
+    } else {
+      Status s = InsertIntoUnsafeRoot(&page, current, ins_key, down_ptr, &st);
+      if (!s.ok()) return s;
+    }
+    if (st.completed) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Move one level up: to the node we came down through, or — if the
+    // stack is exhausted — to the leftmost node of the next higher level
+    // (waiting for it to exist if a root creation is still in flight,
+    // Section 3.3).
+    ins_key = st.sep;
+    down_ptr = st.new_child;
+    level++;
+    if (!stack.empty()) {
+      current = stack.back();
+      stack.pop_back();
+    } else {
+      int waits = 0;
+      for (;;) {
+        const PrimeBlockData pb = prime_.Read();
+        if (pb.num_levels > level) {
+          current = pb.leftmost[level];
+          break;
+        }
+        if (++waits > options_.max_restarts) {
+          return Status::Internal("next level never appeared");
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion (Section 4, plus the §5.4 enqueue hook)
+// ---------------------------------------------------------------------------
+
+Status SagivTree::Delete(Key key) {
+  if (key < 1 || key > kMaxUserKey) {
+    return Status::InvalidArgument("key out of range");
+  }
+  stats_->Add(StatId::kDeletes);
+  EpochManager::Guard guard(epoch_.get());
+
+  CompressionQueue* queue = queue_.load(std::memory_order_acquire);
+  const bool want_stack =
+      options_.enqueue_underfull_on_delete && queue != nullptr;
+
+  std::vector<PageId> stack;
+  Result<PageId> found =
+      internal_FindNodeAtLevel(key, 0, want_stack ? &stack : nullptr);
+  if (!found.ok()) return found.status();
+
+  Page page;
+  Node* node = page.As<Node>();
+  int restarts = 0;
+  Result<PageId> target = AcquireTargetNode(
+      key, 0, *found, want_stack ? &stack : nullptr, &restarts, &page);
+  if (!target.ok()) return target.status();
+  const PageId leaf = *target;
+
+  if (!node->RemoveLeafEntry(key)) {
+    pager_->Unlock(leaf);
+    return Status::NotFound();
+  }
+  pager_->Put(leaf, page);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+
+  // §5.4: while still holding the lock, record the leaf for compression if
+  // it fell below half full.
+  if (want_stack && node->count < options_.min_entries && !node->is_root()) {
+    CompressionTask task;
+    task.node = leaf;
+    task.level = 0;
+    task.high = node->high;
+    task.stamp = guard.start_time();
+    task.stack = std::move(stack);
+    queue->Push(std::move(task), /*update_if_present=*/true);
+    stats_->Add(StatId::kQueueEnqueues);
+  }
+  pager_->Unlock(leaf);
+  return Status::OK();
+}
+
+}  // namespace obtree

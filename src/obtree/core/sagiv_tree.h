@@ -1,0 +1,183 @@
+// Copyright 2026 The obtree Authors.
+//
+// SagivTree: the paper's primary contribution. A B-link tree supporting
+// fully concurrent searches, insertions, and deletions where
+//
+//   * readers acquire NO locks and may read nodes locked by updaters;
+//   * an insertion holds AT MOST ONE lock at any instant (Section 3) —
+//     updaters may overtake one another on the way up the tree;
+//   * deletions remove the record from its leaf under one lock (Section 4)
+//     and optionally enqueue under-full leaves for the queue-driven
+//     compressor of Section 5.4;
+//   * a process routed to a wrong node (possible once compressors run)
+//     restarts instead of lock-coupling (Section 5.2): deleted nodes carry
+//     a merge pointer, and every node stores its low value so "wrong node"
+//     is detectable.
+//
+// Compression itself lives in ScanCompressor (Section 5.1-5.2) and
+// QueueCompressor (Section 5.4); they operate on this class through the
+// internal_* accessors.
+
+#ifndef OBTREE_CORE_SAGIV_TREE_H_
+#define OBTREE_CORE_SAGIV_TREE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obtree/core/options.h"
+#include "obtree/node/node.h"
+#include "obtree/storage/page_manager.h"
+#include "obtree/storage/prime_block.h"
+#include "obtree/util/common.h"
+#include "obtree/util/epoch.h"
+#include "obtree/util/stats.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+class CompressionQueue;
+
+/// Concurrent B-link tree with overtaking (Sagiv, 1986).
+class SagivTree {
+ public:
+  /// Creates an empty tree (a single root leaf). Options are validated;
+  /// invalid options fall back to defaults with the failure retrievable
+  /// via init_status().
+  explicit SagivTree(const TreeOptions& options = TreeOptions());
+  ~SagivTree();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(SagivTree);
+
+  /// Status of construction (InvalidArgument if options were bad).
+  const Status& init_status() const { return init_status_; }
+
+  /// Insert (key, value). Keys must lie in [1, kMaxUserKey].
+  /// Returns AlreadyExists if the key is present (tree unchanged).
+  Status Insert(Key key, Value value);
+
+  /// Look up a key. Returns the value or NotFound. Lock-free.
+  Result<Value> Search(Key key) const;
+
+  /// Delete a key. Returns NotFound if absent. No restructuring happens
+  /// here (Section 4); compression is a separate concurrent process.
+  Status Delete(Key key);
+
+  /// Visit live (key, value) pairs with lo <= key <= hi in ascending key
+  /// order, following leaf links. The visitor returns false to stop early.
+  /// Returns the number of pairs visited. Concurrent updates may or may
+  /// not be observed (each leaf is read atomically).
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, Value)>& visitor) const;
+
+  /// Number of keys currently stored (exact when quiescent).
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Current tree height in levels (1 = a lone root leaf).
+  uint32_t Height() const { return prime_.Read().num_levels; }
+
+  const TreeOptions& options() const { return options_; }
+  StatsCollector* stats() const { return stats_.get(); }
+  EpochManager* epoch() const { return epoch_.get(); }
+
+  /// Attach the compression queue that deletions feed when
+  /// options().enqueue_underfull_on_delete is set. The queue must outlive
+  /// all subsequent operations. Pass nullptr to detach.
+  void AttachCompressionQueue(CompressionQueue* queue);
+  CompressionQueue* compression_queue() const {
+    return queue_.load(std::memory_order_acquire);
+  }
+
+  // --- internal surface (compressors, checker, tests) ---------------------
+
+  PageManager* internal_pager() const { return pager_.get(); }
+  PrimeBlock* internal_prime() { return &prime_; }
+  const PrimeBlock* internal_prime() const { return &prime_; }
+
+  /// Descend from the root to the node at `level` where `key` belongs
+  /// (low < key <= high among live nodes), following child pointers, links
+  /// and merge pointers. If stack_out != nullptr, it receives the pages
+  /// through which the descent came down at each level above `level`
+  /// (deepest last), as produced by the paper's movedown-and-stack.
+  /// Does not lock. Returns the page id, or Internal after too many
+  /// restarts.
+  ///
+  /// If the tree currently has fewer than level+1 levels: with
+  /// wait_for_level (the insertion ascent semantics of Section 3.3) the
+  /// call waits for the level to appear; without it the call returns
+  /// NotFound (the §5.4 "whole level deleted" probe used by compressors).
+  Result<PageId> internal_FindNodeAtLevel(Key key, uint32_t level,
+                                          std::vector<PageId>* stack_out,
+                                          bool wait_for_level = true) const;
+
+  /// Lock the live node at `level` whose key range contains `key`,
+  /// starting the moveright from `start` (restarting from the root when
+  /// routed wrong). On success the node is paper-locked and its image is
+  /// in *page. Used by the insertion/deletion paths and by the queue
+  /// compressor's parent search (Section 5.4).
+  Result<PageId> internal_AcquireTargetNode(Key key, uint32_t level,
+                                            PageId start,
+                                            std::vector<PageId>* stack,
+                                            int* restarts, Page* page,
+                                            bool wait_for_level = true) const {
+    return AcquireTargetNode(key, level, start, stack, restarts, page,
+                             wait_for_level);
+  }
+
+  /// Adjust the logical size counter (used by compressors never; by tests
+  /// rebuilding state). Positive or negative delta.
+  void internal_AdjustSize(int64_t delta) {
+    size_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+  }
+
+ private:
+  // Search descent used by Search/Scan: movedown + moveright without
+  // locking. Fills *page with the image of the leaf whose range contains
+  // `key` and *leaf_page with its id. Restarts (refreshing *guard) when
+  // routed to a wrong node. Counts restarts against options().max_restarts.
+  Status DescendToLeaf(Key key, EpochManager::Guard* guard, Page* page,
+                       PageId* leaf_page) const;
+
+  // Lock the live node at `level` in whose range `ins_key` falls, starting
+  // the moveright from `start`. On return the node is paper-locked and its
+  // image is in *page. `stack` (may be null) is refreshed when a restart
+  // from the root is needed. Returns the node's page id.
+  Result<PageId> AcquireTargetNode(Key ins_key, uint32_t level, PageId start,
+                                   std::vector<PageId>* stack, int* restarts,
+                                   Page* page, bool wait_for_level = true)
+      const;
+
+  // The three insertion finishers of Fig. 6. `page` is the locked image of
+  // `page_id`. Either completes the logical insert or prepares (sep,
+  // new_child) for the next level. All unlock `page_id` before returning.
+  struct AscentState {
+    bool completed = false;
+    Key sep = 0;            // separator to post one level up
+    PageId new_child = kInvalidPageId;
+  };
+  void InsertIntoSafe(Page* page, PageId page_id, Key key, uint64_t down_ptr,
+                      AscentState* st);
+  Status InsertIntoUnsafe(Page* page, PageId page_id, Key key,
+                          uint64_t down_ptr, AscentState* st);
+  Status InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
+                              uint64_t down_ptr, AscentState* st);
+
+  // Apply the pair insertion to a node image: a leaf insert at level 0, a
+  // child-split post above.
+  static void ApplyInsert(Node* node, Key key, uint64_t down_ptr);
+
+  TreeOptions options_;
+  Status init_status_;
+
+  std::unique_ptr<StatsCollector> stats_;
+  std::unique_ptr<EpochManager> epoch_;
+  std::unique_ptr<PageManager> pager_;
+  PrimeBlock prime_;
+
+  std::atomic<CompressionQueue*> queue_;
+  std::atomic<uint64_t> size_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_CORE_SAGIV_TREE_H_

@@ -1,0 +1,60 @@
+// Copyright 2026 The obtree Authors.
+//
+// Offline structural validation of a SagivTree. Intended for quiescent
+// moments (no concurrent updaters or compressors); it verifies the
+// invariants behind Theorem 1's validity argument, most importantly the
+// Fig. 2 replay property: every nonleaf level is exactly the sequence of
+// (high value, link) pairs of the level below it.
+
+#ifndef OBTREE_CORE_TREE_CHECKER_H_
+#define OBTREE_CORE_TREE_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+/// Aggregate shape statistics of a tree, gathered by a full walk.
+struct TreeShape {
+  uint32_t height = 0;          ///< levels (1 = lone root leaf)
+  uint64_t num_keys = 0;        ///< entries at the leaf level
+  uint64_t num_nodes = 0;       ///< live nodes across all levels
+  uint64_t underfull_nodes = 0; ///< non-root nodes with < k entries
+  double avg_leaf_fill = 0.0;   ///< mean leaf entries / capacity
+  std::vector<uint64_t> nodes_per_level;  ///< index 0 = leaves
+
+  std::string ToString() const;
+};
+
+/// Validator and shape walker. Holds no locks; run while quiescent.
+class TreeChecker {
+ public:
+  explicit TreeChecker(const SagivTree* tree) : tree_(tree) {}
+
+  /// Full structural validation:
+  ///  * per level: link chain from the leftmost node to a nil link, with
+  ///    strictly increasing keys, low/high chaining, first low = -inf,
+  ///    last high = +inf, no deleted nodes, entry keys within (low, high];
+  ///  * internal nodes: high value equals the last entry's key;
+  ///  * the replay property between every pair of adjacent levels;
+  ///  * exactly one node carries the root bit (the prime block's root);
+  ///  * the leaf count matches tree->Size().
+  /// When require_half_full is set, additionally require every non-root
+  /// node except the rightmost of its level to hold >= k entries (the
+  /// guarantee a completed compression pass provides).
+  Status CheckStructure(bool require_half_full = false) const;
+
+  /// Walk the tree and report its shape.
+  TreeShape ComputeShape() const;
+
+ private:
+  const SagivTree* tree_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_CORE_TREE_CHECKER_H_

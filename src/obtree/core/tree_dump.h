@@ -1,0 +1,37 @@
+// Copyright 2026 The obtree Authors.
+//
+// Human-readable rendering of a tree's structure, level by level — the
+// debugging companion to TreeChecker. Quiescent only (walks links without
+// locks, like the checker).
+
+#ifndef OBTREE_CORE_TREE_DUMP_H_
+#define OBTREE_CORE_TREE_DUMP_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obtree/core/sagiv_tree.h"
+
+namespace obtree {
+
+/// Rendering options for DumpStructure.
+struct DumpOptions {
+  bool show_entries = false;   ///< print every (key, value/child) pair
+  uint32_t max_nodes_per_level = 16;  ///< elide beyond this many nodes
+};
+
+/// Write the level-by-level structure to `os`:
+///
+///   L2 (root): [p17 n=2 (0,+inf]]
+///   L1: [p5 n=3 (0,300]] [p9 n=2 (300,+inf]]
+///   L0: [p1 n=60 (0,100]] [p2 n=55 (100,...]] ... (+3 more)
+void DumpStructure(const SagivTree& tree, std::ostream* os,
+                   const DumpOptions& options = DumpOptions());
+
+/// DumpStructure to a string.
+std::string DumpStructureToString(const SagivTree& tree,
+                                  const DumpOptions& options = DumpOptions());
+
+}  // namespace obtree
+
+#endif  // OBTREE_CORE_TREE_DUMP_H_

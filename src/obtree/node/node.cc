@@ -1,0 +1,194 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/node/node.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace obtree {
+
+uint32_t Node::LowerBound(Key k) const {
+  // Branchless binary search over the sorted entry array.
+  uint32_t lo = 0;
+  uint32_t hi = count;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (entries[mid].key < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<Value> Node::FindLeafValue(Key k) const {
+  assert(is_leaf());
+  const uint32_t i = LowerBound(k);
+  if (i < count && entries[i].key == k) return entries[i].value;
+  return std::nullopt;
+}
+
+PageId Node::ChildFor(Key k) const {
+  assert(!is_leaf());
+  assert(count > 0);
+  const uint32_t i = LowerBound(k);
+  assert(i < count);  // guaranteed by k <= high == entries[count-1].key
+  return static_cast<PageId>(entries[i].value);
+}
+
+Node::NextStep Node::Next(Key k) const {
+  if (k > high) return NextStep{true, link};
+  if (is_leaf()) return NextStep{false, kInvalidPageId};
+  return NextStep{false, ChildFor(k)};
+}
+
+void Node::InsertLeafEntry(Key k, Value v) {
+  assert(is_leaf());
+  assert(count < kMaxEntries);
+  const uint32_t i = LowerBound(k);
+  assert(i == count || entries[i].key != k);
+  std::memmove(&entries[i + 1], &entries[i],
+               (count - i) * sizeof(Entry));
+  entries[i] = Entry{k, v};
+  count++;
+}
+
+bool Node::RemoveLeafEntry(Key k) {
+  assert(is_leaf());
+  const uint32_t i = LowerBound(k);
+  if (i >= count || entries[i].key != k) return false;
+  std::memmove(&entries[i], &entries[i + 1],
+               (count - i - 1) * sizeof(Entry));
+  count--;
+  return true;
+}
+
+bool Node::InsertChildSplit(Key sep, PageId new_child) {
+  assert(!is_leaf());
+  assert(count > 0);
+  assert(count < kMaxEntries);
+  assert(sep > low && sep <= high);
+  const uint32_t i = LowerBound(sep);
+  assert(i < count);  // sep <= high == entries[count-1].key
+  if (entries[i].key == sep) return false;
+  const uint64_t left_child = entries[i].value;
+  std::memmove(&entries[i + 1], &entries[i],
+               (count - i) * sizeof(Entry));
+  entries[i] = Entry{sep, left_child};
+  entries[i + 1].value = new_child;
+  count++;
+  return true;
+}
+
+int Node::FindChildIndex(PageId child) const {
+  assert(!is_leaf());
+  for (uint32_t i = 0; i < count; ++i) {
+    if (static_cast<PageId>(entries[i].value) == child) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Node::ApplyChildMerge(Key old_sep, PageId left_child,
+                           PageId right_child) {
+  assert(!is_leaf());
+  const uint32_t i = LowerBound(old_sep);
+  if (i + 1 >= count) return false;
+  if (entries[i].key != old_sep ||
+      static_cast<PageId>(entries[i].value) != left_child ||
+      static_cast<PageId>(entries[i + 1].value) != right_child) {
+    return false;
+  }
+  // Delete (old_sep -> left) and let the successor (right_high -> right)
+  // become (right_high -> left): left now covers the union range.
+  entries[i + 1].value = left_child;
+  std::memmove(&entries[i], &entries[i + 1],
+               (count - i - 1) * sizeof(Entry));
+  count--;
+  return true;
+}
+
+bool Node::ApplyChildSeparatorChange(Key old_sep, Key new_sep, PageId child) {
+  assert(!is_leaf());
+  const uint32_t i = LowerBound(old_sep);
+  if (i >= count || entries[i].key != old_sep ||
+      static_cast<PageId>(entries[i].value) != child) {
+    return false;
+  }
+  // Order must be preserved: new_sep stays between the neighbors.
+  if (i > 0 && entries[i - 1].key >= new_sep) return false;
+  if (i + 1 < count && entries[i + 1].key <= new_sep) return false;
+  entries[i].key = new_sep;
+  return true;
+}
+
+void Node::SplitInto(Node* right, PageId right_page) {
+  assert(count >= 2);
+  // Keep the ceiling half on the left: splitting 2k+1 entries must leave
+  // BOTH halves strictly below capacity, or ascending insertions at k=1
+  // re-split the (full) right node on every insert and the tree grows one
+  // level per insertion.
+  const uint32_t keep = count - count / 2;
+  const uint32_t move = count - keep;
+
+  right->Init(level, /*low=*/entries[keep - 1].key, /*high=*/high, link);
+  std::memcpy(right->entries, &entries[keep], move * sizeof(Entry));
+  right->count = move;
+
+  count = keep;
+  high = entries[keep - 1].key;
+  link = right_page;
+}
+
+void Node::MergeFromRight(const Node& right) {
+  assert(level == right.level);
+  assert(count + right.count <= kMaxEntries);
+  std::memcpy(&entries[count], right.entries, right.count * sizeof(Entry));
+  count += right.count;
+  high = right.high;
+  link = right.link;
+}
+
+Key Node::RedistributeWithRight(Node* right, uint32_t min_entries) {
+  assert(level == right->level);
+  const uint32_t total = count + right->count;
+  assert(total >= 2 * min_entries);
+  (void)min_entries;
+  // Split the combined run as evenly as possible.
+  const uint32_t new_left = total / 2;
+  if (new_left > count) {
+    // Shift the head of right into this node.
+    const uint32_t move = new_left - count;
+    std::memcpy(&entries[count], right->entries, move * sizeof(Entry));
+    std::memmove(right->entries, &right->entries[move],
+                 (right->count - move) * sizeof(Entry));
+    count = new_left;
+    right->count -= move;
+  } else if (new_left < count) {
+    // Shift the tail of this node into right.
+    const uint32_t move = count - new_left;
+    std::memmove(&right->entries[move], right->entries,
+                 right->count * sizeof(Entry));
+    std::memcpy(right->entries, &entries[new_left], move * sizeof(Entry));
+    right->count += move;
+    count = new_left;
+  }
+  const Key sep = entries[count - 1].key;
+  high = sep;
+  right->low = sep;
+  return sep;
+}
+
+std::string Node::DebugString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "[L%u n=%u low=%llu high=%llu link=%u%s%s%s]", level, count,
+                static_cast<unsigned long long>(low),
+                static_cast<unsigned long long>(high), link,
+                is_root() ? " root" : "", is_deleted() ? " deleted" : "",
+                is_leaf() ? " leaf" : "");
+  return buf;
+}
+
+}  // namespace obtree

@@ -1,0 +1,183 @@
+// Copyright 2026 The obtree Authors.
+//
+// On-page layout and manipulation of B-link nodes (Section 2.1).
+//
+// A node stores, in one page:
+//   * its level (0 = leaf), flags (root / deleted), entry count;
+//   * its low value v0 (explicitly stored — required by the compression
+//     protocol, Section 5.1) and high value v_{i+1};
+//   * its link pointer p_{i+1} (right neighbor at the same level);
+//   * a merge pointer, set when the node is deleted, naming the node its
+//     data was merged into (the reader-recovery device of Section 5.2);
+//   * a sorted array of (key, value) entries.
+//
+// Entry semantics differ by level:
+//   * Leaf: (v, p) — p is the record handle for key v.
+//   * Internal: (u, c) — c is the child page covering the key range
+//     (prev_u, u]; i.e. u is the HIGH VALUE of child c. This is exactly the
+//     paper's observation (Fig. 2) that level i+1 replays the sequence of
+//     (high value, link) pairs of level i. The paper's layout
+//     p0 v1 p1 ... vi pi with p_j covering (v_j, v_{j+1}] is isomorphic:
+//     our entry j is (v_{j+1}, p_j). A consequence used throughout: an
+//     internal node's high value equals its last entry's key.
+
+#ifndef OBTREE_NODE_NODE_H_
+#define OBTREE_NODE_NODE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obtree/storage/page.h"
+#include "obtree/util/common.h"
+
+namespace obtree {
+
+/// One (key, value/child) slot of a node.
+struct Entry {
+  Key key;
+  uint64_t value;
+};
+static_assert(sizeof(Entry) == 16);
+
+/// Node flag bits.
+enum NodeFlags : uint16_t {
+  kNodeFlagRoot = 1u << 0,     ///< the root bit of Section 3.3
+  kNodeFlagDeleted = 1u << 1,  ///< the deletion bit of Section 5.1
+};
+
+/// POD image of a node; occupies the front of a Page.
+struct Node {
+  // --- header -----------------------------------------------------------
+  uint16_t level;        ///< 0 for leaves
+  uint16_t flags;        ///< NodeFlags
+  uint32_t count;        ///< number of live entries
+  Key low;               ///< v0: high value of the left neighbor, or 0
+  Key high;              ///< v_{i+1}: largest key in this subtree
+  PageId link;           ///< right neighbor, kInvalidPageId for rightmost
+  PageId merge_target;   ///< where the data went when deleted
+  // --- entries ----------------------------------------------------------
+  static constexpr size_t kHeaderSize = 32;
+  static constexpr size_t kMaxEntries = (kPageSize - kHeaderSize) / sizeof(Entry);
+
+  Entry entries[kMaxEntries];
+
+  // --- predicates ---------------------------------------------------------
+  bool is_leaf() const { return level == 0; }
+  bool is_root() const { return flags & kNodeFlagRoot; }
+  bool is_deleted() const { return flags & kNodeFlagDeleted; }
+
+  void set_root(bool on) {
+    flags = on ? (flags | kNodeFlagRoot)
+               : static_cast<uint16_t>(flags & ~kNodeFlagRoot);
+  }
+  void set_deleted(PageId target) {
+    flags |= kNodeFlagDeleted;
+    merge_target = target;
+  }
+
+  /// Initialize an empty node.
+  void Init(uint16_t lvl, Key low_value, Key high_value, PageId link_ptr) {
+    level = lvl;
+    flags = 0;
+    count = 0;
+    low = low_value;
+    high = high_value;
+    link = link_ptr;
+    merge_target = kInvalidPageId;
+  }
+
+  // --- searching ----------------------------------------------------------
+
+  /// Index of the first entry with key >= k; count if none.
+  uint32_t LowerBound(Key k) const;
+
+  /// Leaf only: the value stored for key k, if present.
+  std::optional<Value> FindLeafValue(Key k) const;
+
+  /// Internal only: the child covering key k. Requires k <= high (caller
+  /// must have handled the link case) and count > 0.
+  PageId ChildFor(Key k) const;
+
+  /// The paper's next(A, v): where a search for v proceeds from this node.
+  struct NextStep {
+    bool is_link;    ///< true: follow the link (v > high value)
+    PageId page;     ///< destination (kInvalidPageId if link is nil)
+  };
+  NextStep Next(Key k) const;
+
+  // --- leaf updates -------------------------------------------------------
+
+  /// Insert (k, v) preserving order. Precondition: k absent, count <
+  /// kMaxEntries (the tree enforces 2k-capacity before calling).
+  void InsertLeafEntry(Key k, Value v);
+
+  /// Remove key k. Returns false if absent.
+  bool RemoveLeafEntry(Key k);
+
+  // --- internal updates ----------------------------------------------------
+
+  /// Record a child split in this (parent) node: some child split at
+  /// separator sep, handing keys > sep to `new_child`. Implements the
+  /// paper's "insert the pair (v', p') immediately to the left of the
+  /// smallest key u such that v' < u": in entry form, the successor entry
+  /// (u, c) keeps key u but its child becomes new_child, and a new entry
+  /// (sep, c) takes over the left part of c's old range. Under overtaking,
+  /// c is not necessarily the node that split — it may be a node further
+  /// left whose own split has not been posted yet; searches then recover
+  /// through links exactly as Theorem 1's validity assertion describes.
+  /// Requires low < sep <= high and count < kMaxEntries. Returns false
+  /// (no change) only if sep is already present (protocol violation,
+  /// checked defensively).
+  bool InsertChildSplit(Key sep, PageId new_child);
+
+  /// Remove the entry (old_sep -> left_child) and repoint the successor
+  /// entry (right_high -> right_child) to left_child. Records a merge of
+  /// right_child into left_child. Returns false if the layout does not
+  /// match (caller re-validates).
+  bool ApplyChildMerge(Key old_sep, PageId left_child, PageId right_child);
+
+  /// Replace the separator of `child` (currently old_sep) with new_sep,
+  /// after a redistribution changed the child's high value. Returns false
+  /// if (old_sep -> child) is not present.
+  bool ApplyChildSeparatorChange(Key old_sep, Key new_sep, PageId child);
+
+  /// Index of the entry whose child pointer equals `child`; -1 if absent.
+  int FindChildIndex(PageId child) const;
+
+  // --- restructuring -------------------------------------------------------
+
+  /// Split this (full) node: keep the low half here, move the high half to
+  /// *right (which must be a fresh node at page `right_page`). Afterwards
+  /// this->high is the largest remaining key (leaf) / last upper bound
+  /// (internal), and this->link points at right_page. Works for leaves and
+  /// internal nodes alike.
+  void SplitInto(Node* right, PageId right_page);
+
+  /// Absorb the right sibling `right` (all entries appended; high and link
+  /// taken from right). Caller marks `right` deleted.
+  void MergeFromRight(const Node& right);
+
+  /// Move entries between this node and its right sibling so both end with
+  /// >= min_entries (caller guarantees combined count allows it). Updates
+  /// this->high and right->low to the new separator. Returns the new
+  /// separator (new high value of this node).
+  Key RedistributeWithRight(Node* right, uint32_t min_entries);
+
+  /// Debug rendering: "[L0 n=5 low=.. high=.. link=..]".
+  std::string DebugString() const;
+};
+
+static_assert(sizeof(Node) <= kPageSize, "Node must fit a page");
+static_assert(Node::kMaxEntries == 254);
+
+/// Bytes of a page image that are meaningful for a node with `count`
+/// entries (header + entries). Used to bound copy sizes.
+inline size_t NodeBytes(uint32_t count) {
+  return Node::kHeaderSize + static_cast<size_t>(count) * sizeof(Entry);
+}
+
+}  // namespace obtree
+
+#endif  // OBTREE_NODE_NODE_H_

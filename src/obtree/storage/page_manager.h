@@ -1,0 +1,176 @@
+// Copyright 2026 The obtree Authors.
+//
+// PageManager implements the storage model of Section 2.2:
+//
+//   * get(x)  — returns the contents of the node pointed to by x;
+//   * put(A,x) — writes buffer A into the node pointed to by x;
+//     get/put on the same node are indivisible with respect to each other;
+//   * lock(x)/unlock(x) — the paper's single lock type: it blocks other
+//     lockers but does NOT block readers ("a lock on a node does not
+//     prevent other processes from reading the locked node").
+//
+// Indivisibility is provided by a per-page seqlock, so readers never block
+// and never observe a torn node image. The paper lock is a separate
+// per-page mutex.
+//
+// Deallocation follows Section 5.3: deleted pages are *retired* with a
+// deletion timestamp and returned to the free list only once every active
+// operation started after that timestamp (EpochManager::MinActive).
+
+#ifndef OBTREE_STORAGE_PAGE_MANAGER_H_
+#define OBTREE_STORAGE_PAGE_MANAGER_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obtree/storage/page.h"
+#include "obtree/util/common.h"
+#include "obtree/util/epoch.h"
+#include "obtree/util/stats.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+/// Allocator + indivisible reader/writer + paper-lock table for pages.
+class PageManager {
+ public:
+  /// @param epoch governs deferred release of retired pages (§5.3); must
+  ///              outlive the manager.
+  /// @param stats counter sink; must outlive the manager. May not be null.
+  PageManager(EpochManager* epoch, StatsCollector* stats);
+  ~PageManager();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(PageManager);
+
+  /// Allocate a zeroed page. Reuses reclaimable retired pages first.
+  Result<PageId> Allocate();
+
+  /// Test-only interleaving hook: when set, invoked at the entry of Put
+  /// ("put"), Lock ("lock") and Unlock ("unlock") with the page id. Tests
+  /// use it to pause a protocol thread at an exact point (e.g. after a
+  /// merge wrote the gaining child but before the parent) and observe the
+  /// tree from other threads. Set/clear only while those calls cannot
+  /// race the change.
+  using TestHook = std::function<void(const char* op, PageId id)>;
+  void SetTestHook(TestHook hook) {
+    test_hook_ = std::move(hook);
+    has_test_hook_.store(test_hook_ != nullptr, std::memory_order_release);
+  }
+
+  /// Fault injection for tests: after `n` more successful allocations,
+  /// Allocate() returns ResourceExhausted until reset with a negative
+  /// value. Protocol error paths (split/root-creation failures) must
+  /// unlock everything and leave the tree valid.
+  void set_allocation_budget(int64_t n) {
+    allocation_budget_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Indivisible read of a page into *out (the paper's get(x)).
+  void Get(PageId id, Page* out) const;
+
+  /// Indivisible write of a page (the paper's put(A, x)).
+  void Put(PageId id, const Page& in);
+
+  /// Acquire the paper lock on a page. Blocks only other lockers.
+  void Lock(PageId id);
+
+  /// Try to acquire the paper lock without blocking.
+  bool TryLock(PageId id);
+
+  /// Release the paper lock.
+  void Unlock(PageId id);
+
+  /// Number of paper locks the calling thread currently holds (through any
+  /// PageManager). Exposed for tests asserting the "one lock at a time"
+  /// property.
+  static int LocksHeldByThisThread();
+
+  /// Simulate block-device latency: every Get/Put sleeps this long before
+  /// returning (0 = in-memory). The paper's model maps nodes to secondary
+  /// storage where a node access IS an I/O; on few-core hosts this is what
+  /// lets concurrency benefits surface — non-blocking protocols overlap
+  /// their I/O waits, lock-holding protocols stall everyone behind them.
+  void set_simulated_io_ns(uint64_t ns) {
+    simulated_io_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t simulated_io_ns() const {
+    return simulated_io_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Mark a page deleted at the current logical time. The page stays
+  /// readable until reclaimed.
+  void Retire(PageId id);
+
+  /// Move retired pages that satisfy the §5.3 rule to the free list.
+  /// Returns the number of pages reclaimed.
+  size_t Reclaim();
+
+  /// Total pages ever allocated from the OS (high-water mark).
+  size_t allocated_pages() const {
+    return next_fresh_.load(std::memory_order_relaxed);
+  }
+
+  /// Pages currently allocated to live nodes (allocated - free - retired).
+  size_t live_pages() const;
+
+  /// Pages awaiting reclamation.
+  size_t retired_pages() const;
+
+  /// Pages on the free list.
+  size_t free_pages() const;
+
+  EpochManager* epoch() const { return epoch_; }
+  StatsCollector* stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // seqlock: odd while a put is in flight
+    std::mutex paper_lock;
+    Page page;
+  };
+
+  static constexpr int kChunkBits = 10;  // 1024 pages (4 MiB) per chunk
+  static constexpr size_t kChunkSize = 1ull << kChunkBits;
+  static constexpr size_t kMaxChunks = 1ull << 14;  // up to 16M pages
+
+  struct Chunk {
+    Slot slots[kChunkSize];
+  };
+
+  Slot* SlotFor(PageId id) const;
+  void EnsureChunk(size_t chunk_index);
+  void MaybeSimulateIo() const;
+
+  EpochManager* const epoch_;
+  StatsCollector* const stats_;
+  std::atomic<uint64_t> simulated_io_ns_{0};
+  std::atomic<int64_t> allocation_budget_{-1};  // <0 = unlimited
+  std::atomic<bool> has_test_hook_{false};
+  TestHook test_hook_;
+
+  void MaybeTestHook(const char* op, PageId id) const {
+    if (has_test_hook_.load(std::memory_order_acquire)) test_hook_(op, id);
+  }
+
+  // Chunk directory: atomic pointers so readers can index while the
+  // allocator grows the arena.
+  mutable std::vector<std::atomic<Chunk*>> chunks_;
+  std::atomic<uint32_t> next_fresh_;  // next never-used page id
+
+  mutable std::mutex alloc_mu_;
+  std::vector<PageId> free_list_;
+
+  struct Retired {
+    PageId id;
+    Timestamp time;
+  };
+  mutable std::mutex retired_mu_;
+  std::deque<Retired> retired_;  // FIFO: timestamps are non-decreasing
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_STORAGE_PAGE_MANAGER_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The obtree Authors.
+//
+// Common fundamental types shared by every obtree module.
+
+#ifndef OBTREE_UTIL_COMMON_H_
+#define OBTREE_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace obtree {
+
+/// Key type stored in the tree. The paper's algorithms are agnostic to the
+/// key representation; we use 64-bit unsigned integers.
+using Key = uint64_t;
+
+/// Opaque value handle associated with a key. In the paper a leaf stores
+/// pairs (v, p) where p points to the record with key value v; `Value`
+/// models that record pointer.
+using Value = uint64_t;
+
+/// Identifier of a page (block of "secondary storage") managed by
+/// PageManager. Pages are the unit of the paper's indivisible get/put.
+using PageId = uint32_t;
+
+/// Sentinel: no page / nil link.
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Sentinel key used as -infinity (the implicit v0 of the leftmost node).
+inline constexpr Key kMinusInfinity = 0;
+
+/// Sentinel key used as +infinity (the high value of the rightmost node at
+/// each level). Real keys must be strictly below this value.
+inline constexpr Key kPlusInfinity = std::numeric_limits<Key>::max();
+
+/// Largest key a caller may insert. Keys live in (kMinusInfinity,
+/// kMaxUserKey]: the paper searches with predicates of the form
+/// v0 < v <= v_{i+1}, so key 0 is reserved for -infinity.
+inline constexpr Key kMaxUserKey = kPlusInfinity - 1;
+
+/// Logical timestamp used by the deferred node-release rule of Section 5.3.
+using Timestamp = uint64_t;
+
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+// Marks a class as neither copyable nor movable (Google style guide idiom).
+#define OBTREE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+}  // namespace obtree
+
+#endif  // OBTREE_UTIL_COMMON_H_

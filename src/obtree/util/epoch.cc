@@ -1,0 +1,97 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/epoch.h"
+
+#include <cassert>
+#include <thread>
+
+namespace obtree {
+
+EpochManager::EpochManager() : clock_(1), slots_(kMaxSlots) {
+  // Thread the slots into a Treiber free list.
+  for (int i = 0; i < kMaxSlots - 1; ++i) {
+    slots_[static_cast<size_t>(i)].next_free.store(i + 1, std::memory_order_relaxed);
+  }
+  slots_[kMaxSlots - 1].next_free.store(-1, std::memory_order_relaxed);
+  free_head_.store(0, std::memory_order_release);
+}
+
+int EpochManager::AcquireSlot() {
+  for (;;) {
+    int head = free_head_.load(std::memory_order_acquire);
+    while (head >= 0) {
+      int next = slots_[static_cast<size_t>(head)].next_free.load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(head, next,
+                                           std::memory_order_acq_rel)) {
+        return head;
+      }
+    }
+    // All slots busy: extremely unlikely (kMaxSlots concurrent operations).
+    // Yield and retry rather than aborting.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::ReleaseSlot(int slot) {
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  s.start.store(kMaxTimestamp, std::memory_order_release);
+  int head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    s.next_free.store(head, std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(head, slot,
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+EpochManager::Guard::Guard(EpochManager* mgr) : mgr_(mgr) {
+  slot_ = mgr_->AcquireSlot();
+  // Publish a conservative (old) value first so that the window between
+  // reading the clock and publishing it cannot let a concurrent reclaimer
+  // miss us, then refine to the unique start time. The slot value only
+  // moves forward, so the refinement is safe.
+  Slot& s = mgr_->slots_[static_cast<size_t>(slot_)];
+  s.start.store(mgr_->Now(), std::memory_order_seq_cst);
+  start_ = mgr_->Advance();
+  s.start.store(start_, std::memory_order_seq_cst);
+}
+
+EpochManager::Guard::~Guard() { mgr_->ReleaseSlot(slot_); }
+
+void EpochManager::Guard::Refresh() {
+  Slot& s = mgr_->slots_[static_cast<size_t>(slot_)];
+  s.start.store(mgr_->Now(), std::memory_order_seq_cst);
+  start_ = mgr_->Advance();
+  s.start.store(start_, std::memory_order_seq_cst);
+}
+
+Timestamp EpochManager::MinActive() const {
+  Timestamp min = kMaxTimestamp;
+  for (const Slot& s : slots_) {
+    Timestamp t = s.start.load(std::memory_order_acquire);
+    if (t < min) min = t;
+  }
+  std::lock_guard<std::mutex> l(providers_mu_);
+  for (const auto& p : providers_) {
+    Timestamp t = p();
+    if (t < min) min = t;
+  }
+  return min;
+}
+
+void EpochManager::RegisterExternalMinProvider(
+    std::function<Timestamp()> provider) {
+  std::lock_guard<std::mutex> l(providers_mu_);
+  providers_.push_back(std::move(provider));
+}
+
+int EpochManager::ActiveCount() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.start.load(std::memory_order_acquire) != kMaxTimestamp) ++n;
+  }
+  return n;
+}
+
+}  // namespace obtree

@@ -1,0 +1,103 @@
+// Copyright 2026 The obtree Authors.
+//
+// Timestamp-based deferred reclamation, implementing the node-release rule
+// of Section 5.3 of the paper:
+//
+//   "A node that becomes empty at time t can be released when all active
+//    searches, insertions, and deletions have started after time t, and
+//    the stacks of the nodes that are either currently being compressed or
+//    are on the queue (or queues) have only time stamps that are younger
+//    than t."
+//
+// EpochManager maintains a logical clock. Every logical operation pins its
+// start time in a slot for its duration (Guard). Deleted pages are retired
+// with the clock value at deletion time and may be reused only once
+// MinActive() exceeds that value. Compression queues register an external
+// min-timestamp provider so their stored stacks also hold back reclamation.
+
+#ifndef OBTREE_UTIL_EPOCH_H_
+#define OBTREE_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "obtree/util/common.h"
+
+namespace obtree {
+
+/// Logical clock + active-operation registry.
+class EpochManager {
+ public:
+  static constexpr int kMaxSlots = 512;
+
+  EpochManager();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(EpochManager);
+
+  /// Current logical time.
+  Timestamp Now() const { return clock_.load(std::memory_order_acquire); }
+
+  /// Advance the clock and return the new (unique, increasing) time. Used
+  /// to stamp deletions and operation starts.
+  Timestamp Advance() {
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// RAII pin of an operation's start time. While a Guard lives, no page
+  /// retired at or after its start time is reclaimed.
+  class Guard {
+   public:
+    explicit Guard(EpochManager* mgr);
+    ~Guard();
+    OBTREE_DISALLOW_COPY_AND_ASSIGN(Guard);
+
+    /// The pinned start time of this operation.
+    Timestamp start_time() const { return start_; }
+
+    /// Re-pin at the current time. Used when an operation restarts from
+    /// scratch and may legally observe a fresher tree.
+    void Refresh();
+
+   private:
+    EpochManager* mgr_;
+    int slot_;
+    Timestamp start_;
+  };
+
+  /// Smallest start time among active operations and external providers;
+  /// kMaxTimestamp when nothing is active. Pages retired strictly before
+  /// this value are safe to reuse.
+  Timestamp MinActive() const;
+
+  /// Register a callback that reports the minimum timestamp still live in
+  /// an external structure (e.g. a compression queue's stored stacks). The
+  /// callback must return kMaxTimestamp when the structure holds nothing.
+  void RegisterExternalMinProvider(std::function<Timestamp()> provider);
+
+  /// Number of currently pinned operations (for tests / introspection).
+  int ActiveCount() const;
+
+ private:
+  friend class Guard;
+
+  int AcquireSlot();
+  void ReleaseSlot(int slot);
+
+  struct alignas(64) Slot {
+    std::atomic<Timestamp> start{kMaxTimestamp};
+    std::atomic<int> next_free{-1};
+  };
+
+  std::atomic<Timestamp> clock_;
+  std::vector<Slot> slots_;
+  std::atomic<int> free_head_;
+
+  mutable std::mutex providers_mu_;
+  std::vector<std::function<Timestamp()>> providers_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_UTIL_EPOCH_H_

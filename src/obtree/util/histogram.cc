@@ -1,0 +1,91 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace obtree {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBucketsLog2)) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketsLog2;
+  const int sub = static_cast<int>((value >> shift) & ((1 << kSubBucketsLog2) - 1));
+  int bucket = ((msb - kSubBucketsLog2 + 1) << kSubBucketsLog2) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketsLog2)) return static_cast<uint64_t>(bucket);
+  const int octave = (bucket >> kSubBucketsLog2) + kSubBucketsLog2 - 1;
+  const int sub = bucket & ((1 << kSubBucketsLog2) - 1);
+  const uint64_t base = 1ULL << octave;
+  return base + static_cast<uint64_t>(sub + 1) * (base >> kSubBucketsLog2) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::min() const {
+  return count_ == 0 ? 0 : min_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min();
+  if (p >= 100) return max_;
+  const uint64_t target = static_cast<uint64_t>(
+      static_cast<double>(count_) * p / 100.0);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen > target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(90)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace obtree

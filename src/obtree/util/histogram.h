@@ -1,0 +1,58 @@
+// Copyright 2026 The obtree Authors.
+//
+// A log-bucketed latency histogram for benchmark reporting (p50/p90/p99,
+// mean, max). Single-writer; merge histograms across threads for totals.
+
+#ifndef OBTREE_UTIL_HISTOGRAM_H_
+#define OBTREE_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace obtree {
+
+/// Histogram of non-negative 64-bit samples (typically nanoseconds).
+/// Buckets are exponential with 4 sub-buckets per power of two, giving
+/// ~19% worst-case relative error on percentile estimates.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record one sample.
+  void Add(uint64_t value);
+
+  /// Merge another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Remove all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const;
+  uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Approximate value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary, e.g. "n=100 mean=12.3 p50=11 p99=40 max=55".
+  std::string ToString() const;
+
+ private:
+  static constexpr int kSubBucketsLog2 = 2;                    // 4 per octave
+  static constexpr int kNumBuckets = 64 << kSubBucketsLog2;    // 256
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,109 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace obtree {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed the xorshift state via SplitMix64 so that small / zero seeds still
+  // produce well-mixed state.
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Multiply-shift bounded rejectionless mapping; bias is negligible for
+  // workload generation purposes.
+  __uint128_t wide = static_cast<__uint128_t>(Next()) * n;
+  return static_cast<uint64_t>(wide >> 64);
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  if (lo == 0 && hi == UINT64_MAX) return Next();
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  // Direct summation. Workloads construct generators once, so O(n) setup is
+  // acceptable; for very large n we cap the summation and extrapolate with
+  // the integral approximation.
+  constexpr uint64_t kExactLimit = 1 << 22;
+  double sum = 0.0;
+  const uint64_t exact = n < kExactLimit ? n : kExactLimit;
+  for (uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // Integral of x^-theta from exact to n.
+    const double a = 1.0 - theta;
+    sum += (std::pow(static_cast<double>(n), a) -
+            std::pow(static_cast<double>(exact), a)) /
+           a;
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next(Random* rng) {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double frac =
+      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(static_cast<double>(n_) * frac);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+uint64_t ScrambleKey(uint64_t x) {
+  // Finalizer of SplitMix64: a bijection on 64-bit integers.
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace obtree

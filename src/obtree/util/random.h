@@ -1,0 +1,84 @@
+// Copyright 2026 The obtree Authors.
+//
+// Fast pseudo-random number generation and the key distributions used by
+// the workload generators: uniform, Zipfian (YCSB-style), and sequential.
+
+#ifndef OBTREE_UTIL_RANDOM_H_
+#define OBTREE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obtree/util/common.h"
+
+namespace obtree {
+
+/// xorshift128+ generator: fast, decent quality, reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. lo must be <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of the given vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian distribution over [0, n) with exponent theta, using the
+/// Gray/Jim-Gray rejection-free method popularized by YCSB. Item 0 is the
+/// most popular.
+class ZipfGenerator {
+ public:
+  /// @param n      number of distinct items (> 0)
+  /// @param theta  skew parameter in (0, 1); 0.99 is the YCSB default
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draw the next item rank in [0, n).
+  uint64_t Next(Random* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Deterministic bijective scramble of a 64-bit key space. Used to turn a
+/// sequential id stream into a key stream without collisions (e.g. for
+/// "load n keys in random-ish order" workloads).
+uint64_t ScrambleKey(uint64_t x);
+
+}  // namespace obtree
+
+#endif  // OBTREE_UTIL_RANDOM_H_

@@ -1,0 +1,114 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/stats.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace obtree {
+
+const char* StatName(StatId id) {
+  switch (id) {
+    case StatId::kGets: return "gets";
+    case StatId::kPuts: return "puts";
+    case StatId::kLocksAcquired: return "locks_acquired";
+    case StatId::kLinkFollows: return "link_follows";
+    case StatId::kRestarts: return "restarts";
+    case StatId::kBacktracks: return "backtracks";
+    case StatId::kMergePointerFollows: return "merge_pointer_follows";
+    case StatId::kSplits: return "splits";
+    case StatId::kMerges: return "merges";
+    case StatId::kRedistributions: return "redistributions";
+    case StatId::kNodesRetired: return "nodes_retired";
+    case StatId::kNodesReclaimed: return "nodes_reclaimed";
+    case StatId::kRootCreations: return "root_creations";
+    case StatId::kRootCollapses: return "root_collapses";
+    case StatId::kCompressWaits: return "compress_waits";
+    case StatId::kQueueEnqueues: return "queue_enqueues";
+    case StatId::kQueueRequeues: return "queue_requeues";
+    case StatId::kQueueDiscards: return "queue_discards";
+    case StatId::kSearches: return "searches";
+    case StatId::kInserts: return "inserts";
+    case StatId::kDeletes: return "deletes";
+    case StatId::kNumStats: break;
+  }
+  return "unknown";
+}
+
+StatsSnapshot StatsSnapshot::Delta(const StatsSnapshot& earlier) const {
+  StatsSnapshot d;
+  for (int i = 0; i < kNumStatIds; ++i) {
+    d.counters[static_cast<size_t>(i)] =
+        counters[static_cast<size_t>(i)] - earlier.counters[static_cast<size_t>(i)];
+  }
+  d.max_locks_held = max_locks_held;
+  return d;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::string out;
+  char line[96];
+  for (int i = 0; i < kNumStatIds; ++i) {
+    const uint64_t v = counters[static_cast<size_t>(i)];
+    if (v == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-22s %llu\n",
+                  StatName(static_cast<StatId>(i)),
+                  static_cast<unsigned long long>(v));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-22s %llu\n", "max_locks_held",
+                static_cast<unsigned long long>(max_locks_held));
+  out += line;
+  return out;
+}
+
+StatsCollector::StatsCollector() : max_locks_held_(0) {}
+
+int StatsCollector::ShardIndex() {
+  // Cheap thread-id hash; stable within a thread.
+  static thread_local const int shard = []() {
+    const size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+    return static_cast<int>(h % kShards);
+  }();
+  return shard;
+}
+
+void StatsCollector::Add(StatId id, uint64_t n) {
+  shards_[static_cast<size_t>(ShardIndex())]
+      .counters[static_cast<size_t>(id)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void StatsCollector::RecordLockDepth(uint64_t depth) {
+  uint64_t cur = max_locks_held_.load(std::memory_order_relaxed);
+  while (depth > cur &&
+         !max_locks_held_.compare_exchange_weak(cur, depth,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t StatsCollector::Get(StatId id) const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) {
+    sum += s.counters[static_cast<size_t>(id)].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+StatsSnapshot StatsCollector::Snapshot() const {
+  StatsSnapshot snap;
+  for (int i = 0; i < kNumStatIds; ++i) {
+    snap.counters[static_cast<size_t>(i)] = Get(static_cast<StatId>(i));
+  }
+  snap.max_locks_held = max_locks_held();
+  return snap;
+}
+
+void StatsCollector::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+  }
+  max_locks_held_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obtree

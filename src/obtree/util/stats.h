@@ -1,0 +1,110 @@
+// Copyright 2026 The obtree Authors.
+//
+// Sharded operation counters. These drive the paper's quantitative claims:
+// how many locks an operation acquires, the maximum number of locks a
+// process holds simultaneously (1 for Sagiv insertions vs. up to 3 for
+// Lehman-Yao), how often searches follow links or restart, and how much
+// restructuring the compressors perform.
+
+#ifndef OBTREE_UTIL_STATS_H_
+#define OBTREE_UTIL_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obtree/util/common.h"
+
+namespace obtree {
+
+/// Identifiers for the counters a tree maintains.
+enum class StatId : int {
+  kGets = 0,             ///< page reads (the paper's get)
+  kPuts,                 ///< page writes (the paper's put)
+  kLocksAcquired,        ///< paper-lock acquisitions
+  kLinkFollows,          ///< moveright steps through link pointers
+  kRestarts,             ///< operations restarted from the root
+  kBacktracks,           ///< wrong-node events recovered by backtracking
+                         ///< to the previous node (§5.2 optimization)
+  kMergePointerFollows,  ///< deleted node hops recovered via merge pointer
+  kSplits,               ///< node splits
+  kMerges,               ///< compression merges (B absorbed into A)
+  kRedistributions,      ///< compression redistributions
+  kNodesRetired,         ///< nodes marked deleted
+  kNodesReclaimed,       ///< retired nodes whose pages were released
+  kRootCreations,        ///< new roots created by insertions
+  kRootCollapses,        ///< root removals by compression
+  kCompressWaits,        ///< compress-level "wait for two in F" events
+  kQueueEnqueues,        ///< compression queue pushes
+  kQueueRequeues,        ///< nodes put back on the queue
+  kQueueDiscards,        ///< queue entries discarded as stale
+  kSearches,             ///< logical search operations
+  kInserts,              ///< logical insert operations
+  kDeletes,              ///< logical delete operations
+  kNumStats,
+};
+
+inline constexpr int kNumStatIds = static_cast<int>(StatId::kNumStats);
+
+/// Human-readable name of a counter.
+const char* StatName(StatId id);
+
+/// Point-in-time copy of all counters plus the lock-depth high-water mark.
+struct StatsSnapshot {
+  std::array<uint64_t, kNumStatIds> counters{};
+  uint64_t max_locks_held = 0;
+
+  uint64_t Get(StatId id) const {
+    return counters[static_cast<size_t>(id)];
+  }
+
+  /// Difference between this snapshot and an earlier one.
+  StatsSnapshot Delta(const StatsSnapshot& earlier) const;
+
+  /// Multi-line rendering of the non-zero counters.
+  std::string ToString() const;
+};
+
+/// Thread-safe sharded counter set. Increments are relaxed atomics on a
+/// shard chosen by thread id; reads sum all shards.
+class StatsCollector {
+ public:
+  StatsCollector();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(StatsCollector);
+
+  /// Add `n` to counter `id`.
+  void Add(StatId id, uint64_t n = 1);
+
+  /// Raise the lock-depth high-water mark to at least `depth`.
+  void RecordLockDepth(uint64_t depth);
+
+  /// Sum of counter `id` across shards.
+  uint64_t Get(StatId id) const;
+
+  uint64_t max_locks_held() const {
+    return max_locks_held_.load(std::memory_order_relaxed);
+  }
+
+  StatsSnapshot Snapshot() const;
+
+  /// Zero every counter (not linearizable w.r.t. concurrent increments;
+  /// intended for use between benchmark phases).
+  void Reset();
+
+ private:
+  static constexpr int kShards = 64;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumStatIds> counters{};
+  };
+
+  static int ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> max_locks_held_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_UTIL_STATS_H_

@@ -1,0 +1,40 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace obtree

@@ -1,0 +1,19 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/workload/driver.h"
+
+#include <cstdio>
+
+namespace obtree {
+
+std::string DriverResult::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "threads=%d ops=%llu ok=%llu %.3fs %.2f Mops/s", threads,
+                static_cast<unsigned long long>(total_ops),
+                static_cast<unsigned long long>(succeeded), seconds,
+                MopsPerSec());
+  return buf;
+}
+
+}  // namespace obtree

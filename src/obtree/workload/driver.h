@@ -1,0 +1,132 @@
+// Copyright 2026 The obtree Authors.
+//
+// Multi-threaded workload driver, templated over the tree implementation
+// (SagivTree and the three baselines expose the same duck-typed surface:
+// Insert/Search/Delete/Scan/Size/stats). Used by the benchmark binaries
+// and the examples.
+
+#ifndef OBTREE_WORKLOAD_DRIVER_H_
+#define OBTREE_WORKLOAD_DRIVER_H_
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obtree/util/histogram.h"
+#include "obtree/util/stats.h"
+#include "obtree/workload/generator.h"
+
+namespace obtree {
+
+/// Aggregate outcome of one driver run.
+struct DriverResult {
+  uint64_t total_ops = 0;
+  uint64_t succeeded = 0;   ///< ops returning OK / value found
+  double seconds = 0.0;
+  int threads = 0;
+
+  Histogram latency_ns;     ///< merged per-op latency (if collected)
+  StatsSnapshot stats;      ///< tree counter deltas over the run
+
+  double MopsPerSec() const {
+    return seconds > 0
+               ? static_cast<double>(total_ops) / seconds / 1e6
+               : 0.0;
+  }
+  std::string Summary() const;
+};
+
+/// Insert `spec.preload` distinct keys (deterministic enumeration) using
+/// `threads` workers. Values are key+1 so readers can verify.
+template <typename Tree>
+void PreloadTree(Tree* tree, const WorkloadSpec& spec, int threads = 4) {
+  if (spec.preload == 0) return;
+  std::vector<std::thread> workers;
+  const uint64_t per = spec.preload / static_cast<uint64_t>(threads) + 1;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([tree, &spec, t, per]() {
+      const uint64_t begin = static_cast<uint64_t>(t) * per;
+      const uint64_t end = std::min(begin + per, spec.preload);
+      for (uint64_t i = begin; i < end; ++i) {
+        const Key k = OpGenerator::PreloadKey(i, spec.key_space);
+        (void)tree->Insert(k, k + 1);  // duplicates possible; ignored
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// Run `ops_per_thread` operations on each of `threads` workers drawing
+/// from `spec`. When collect_latency is set, each op is timed into a
+/// histogram (adds ~20ns/op of clock overhead).
+template <typename Tree>
+DriverResult RunWorkload(Tree* tree, const WorkloadSpec& spec, int threads,
+                         uint64_t ops_per_thread, uint64_t seed = 1,
+                         bool collect_latency = false) {
+  using Clock = std::chrono::steady_clock;
+  DriverResult result;
+  result.threads = threads;
+  const StatsSnapshot before = tree->stats()->Snapshot();
+
+  std::vector<Histogram> histograms(static_cast<size_t>(threads));
+  std::vector<uint64_t> succeeded(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      OpGenerator gen(spec, seed, t, threads);
+      Histogram& hist = histograms[static_cast<size_t>(t)];
+      uint64_t ok = 0;
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const OpGenerator::Op op = gen.Next();
+        const auto op_start =
+            collect_latency ? Clock::now() : Clock::time_point();
+        switch (op.type) {
+          case OpType::kSearch:
+            ok += tree->Search(op.key).ok() ? 1 : 0;
+            break;
+          case OpType::kInsert:
+            ok += tree->Insert(op.key, op.key + 1).ok() ? 1 : 0;
+            break;
+          case OpType::kDelete:
+            ok += tree->Delete(op.key).ok() ? 1 : 0;
+            break;
+          case OpType::kScan: {
+            size_t left = spec.scan_length;
+            tree->Scan(op.key, kMaxUserKey, [&left](Key, Value) {
+              return --left > 0;
+            });
+            ++ok;
+            break;
+          }
+        }
+        if (collect_latency) {
+          hist.Add(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - op_start)
+                  .count()));
+        }
+      }
+      succeeded[static_cast<size_t>(t)] = ok;
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto end = Clock::now();
+
+  result.total_ops = ops_per_thread * static_cast<uint64_t>(threads);
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  for (int t = 0; t < threads; ++t) {
+    result.latency_ns.Merge(histograms[static_cast<size_t>(t)]);
+    result.succeeded += succeeded[static_cast<size_t>(t)];
+  }
+  result.stats = tree->stats()->Snapshot().Delta(before);
+  result.stats.max_locks_held = tree->stats()->max_locks_held();
+  return result;
+}
+
+}  // namespace obtree
+
+#endif  // OBTREE_WORKLOAD_DRIVER_H_

@@ -1,0 +1,128 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/workload/generator.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace obtree {
+
+WorkloadSpec WorkloadSpec::ReadMostly() {
+  WorkloadSpec s;
+  s.search_pct = 0.95;
+  s.insert_pct = 0.025;
+  s.delete_pct = 0.025;
+  s.scan_pct = 0.0;
+  s.name = "read-mostly(95/2.5/2.5)";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::Mixed5050() {
+  WorkloadSpec s;
+  s.search_pct = 0.5;
+  s.insert_pct = 0.25;
+  s.delete_pct = 0.25;
+  s.scan_pct = 0.0;
+  s.name = "mixed(50/25/25)";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::InsertOnly() {
+  WorkloadSpec s;
+  s.search_pct = 0.0;
+  s.insert_pct = 1.0;
+  s.delete_pct = 0.0;
+  s.scan_pct = 0.0;
+  s.preload = 0;
+  s.name = "insert-only";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::DeleteHeavy() {
+  WorkloadSpec s;
+  s.search_pct = 0.2;
+  s.insert_pct = 0.2;
+  s.delete_pct = 0.6;
+  s.scan_pct = 0.0;
+  s.name = "delete-heavy(20/20/60)";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ScanHeavy() {
+  WorkloadSpec s;
+  s.search_pct = 0.5;
+  s.insert_pct = 0.1;
+  s.delete_pct = 0.1;
+  s.scan_pct = 0.3;
+  s.name = "scan-heavy(50/10/10/30)";
+  return s;
+}
+
+std::string WorkloadSpec::Describe() const {
+  char buf[192];
+  const char* dist = distribution == KeyDistribution::kUniform ? "uniform"
+                     : distribution == KeyDistribution::kZipfian
+                         ? "zipf"
+                         : "sequential";
+  std::snprintf(buf, sizeof(buf),
+                "%s dist=%s keyspace=%llu preload=%llu",
+                name.empty() ? "workload" : name.c_str(), dist,
+                static_cast<unsigned long long>(key_space),
+                static_cast<unsigned long long>(preload));
+  return buf;
+}
+
+OpGenerator::OpGenerator(const WorkloadSpec& spec, uint64_t seed,
+                         int thread_id, int num_threads)
+    : spec_(spec),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(thread_id)),
+      seq_next_(spec.preload + 1 + static_cast<uint64_t>(thread_id)),
+      seq_stride_(static_cast<uint64_t>(num_threads > 0 ? num_threads : 1)) {
+  assert(spec.search_pct + spec.insert_pct + spec.delete_pct +
+             spec.scan_pct >
+         0.999);
+  if (spec_.distribution == KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfGenerator>(spec_.key_space,
+                                            spec_.zipf_theta);
+  }
+}
+
+Key OpGenerator::PreloadKey(uint64_t index, Key key_space) {
+  // Scramble so the tree is loaded in pseudo-random order (sequential
+  // loads produce atypically packed trees).
+  return ScrambleKey(index) % key_space + 1;
+}
+
+Key OpGenerator::DrawKey() {
+  switch (spec_.distribution) {
+    case KeyDistribution::kUniform:
+      return rng_.UniformRange(1, spec_.key_space);
+    case KeyDistribution::kZipfian:
+      // Scramble the rank so hot keys are spread across the tree rather
+      // than packed into one leaf run (YCSB convention).
+      return ScrambleKey(zipf_->Next(&rng_)) % spec_.key_space + 1;
+    case KeyDistribution::kSequential: {
+      const uint64_t i = seq_next_;
+      seq_next_ += seq_stride_;
+      return (i - 1) % kMaxUserKey + 1;
+    }
+  }
+  return 1;
+}
+
+OpGenerator::Op OpGenerator::Next() {
+  const double p = rng_.NextDouble();
+  OpType type;
+  if (p < spec_.search_pct) {
+    type = OpType::kSearch;
+  } else if (p < spec_.search_pct + spec_.insert_pct) {
+    type = OpType::kInsert;
+  } else if (p < spec_.search_pct + spec_.insert_pct + spec_.delete_pct) {
+    type = OpType::kDelete;
+  } else {
+    type = OpType::kScan;
+  }
+  return Op{type, DrawKey()};
+}
+
+}  // namespace obtree

@@ -1,0 +1,85 @@
+// Copyright 2026 The obtree Authors.
+//
+// Workload specification and per-thread operation generators for the
+// benchmark harness: operation mixes (search/insert/delete/scan) over
+// uniform, Zipfian, or sequential key streams.
+
+#ifndef OBTREE_WORKLOAD_GENERATOR_H_
+#define OBTREE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obtree/util/common.h"
+#include "obtree/util/random.h"
+
+namespace obtree {
+
+/// A single logical operation drawn from a workload.
+enum class OpType { kSearch, kInsert, kDelete, kScan };
+
+/// Key-stream shapes.
+enum class KeyDistribution {
+  kUniform,     ///< uniform over [1, key_space]
+  kZipfian,     ///< Zipf-skewed ranks scrambled over the key space
+  kSequential,  ///< monotonically increasing (append workloads)
+};
+
+/// Declarative description of a workload phase.
+struct WorkloadSpec {
+  double search_pct = 0.95;
+  double insert_pct = 0.025;
+  double delete_pct = 0.025;
+  double scan_pct = 0.0;
+
+  Key key_space = 1'000'000;        ///< keys drawn from [1, key_space]
+  uint64_t preload = 500'000;       ///< keys inserted before measuring
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipf_theta = 0.99;
+  size_t scan_length = 100;         ///< pairs visited per kScan op
+
+  /// Canned mixes used across the experiment suite.
+  static WorkloadSpec ReadMostly();   // 95/2.5/2.5
+  static WorkloadSpec Mixed5050();    // 50 search / 25 insert / 25 delete
+  static WorkloadSpec InsertOnly();
+  static WorkloadSpec DeleteHeavy();  // 20 search / 20 insert / 60 delete
+  static WorkloadSpec ScanHeavy();    // 50 search / 30 scan / 10 / 10
+
+  std::string name;  ///< label used in reports
+
+  std::string Describe() const;
+};
+
+/// Draws operations for one worker thread. Deterministic given (spec,
+/// seed, thread_id); sequential streams are strided so threads never
+/// collide on inserts.
+class OpGenerator {
+ public:
+  struct Op {
+    OpType type;
+    Key key;
+  };
+
+  OpGenerator(const WorkloadSpec& spec, uint64_t seed, int thread_id,
+              int num_threads);
+
+  Op Next();
+
+  /// The key a preload pass should insert for index i (deterministic,
+  /// collision-free enumeration of [1, key_space]).
+  static Key PreloadKey(uint64_t index, Key key_space);
+
+ private:
+  Key DrawKey();
+
+  WorkloadSpec spec_;
+  Random rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  uint64_t seq_next_;
+  uint64_t seq_stride_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_WORKLOAD_GENERATOR_H_

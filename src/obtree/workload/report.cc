@@ -1,0 +1,74 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/workload/report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <iostream>
+
+namespace obtree {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << row[c];
+    }
+    os << "\n";
+  };
+  os << std::right;
+  print_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.emplace_back(std::string(widths[c], '-'));
+  }
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::Print() const { Print(std::cout); }
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FmtRatio(double a, double b, int precision) {
+  if (b == 0) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, a / b);
+  return buf;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << "claim: " << claim << "\n\n";
+}
+
+}  // namespace obtree

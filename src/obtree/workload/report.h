@@ -1,0 +1,49 @@
+// Copyright 2026 The obtree Authors.
+//
+// Fixed-width table rendering for the experiment binaries, so every bench
+// prints paper-style rows that EXPERIMENTS.md can quote directly.
+
+#ifndef OBTREE_WORKLOAD_REPORT_H_
+#define OBTREE_WORKLOAD_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obtree {
+
+/// Accumulates rows and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render with column separators, e.g.
+  ///   threads | sagiv Mops | ly Mops
+  ///   ------- | ---------- | -------
+  ///         1 |       4.20 |    3.90
+  void Print(std::ostream& os) const;
+
+  /// Convenience: render to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers.
+std::string Fmt(double v, int precision = 2);
+std::string Fmt(uint64_t v);
+std::string FmtRatio(double a, double b, int precision = 2);  // "a/b x"
+
+/// Print an experiment banner:
+///   === E2: throughput scaling (claim: ...) ===
+void PrintBanner(const std::string& experiment, const std::string& claim);
+
+}  // namespace obtree
+
+#endif  // OBTREE_WORKLOAD_REPORT_H_

@@ -1,0 +1,173 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/core/bulk_loader.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obtree/core/tree_checker.h"
+#include "obtree/util/random.h"
+
+namespace obtree {
+namespace {
+
+std::vector<std::pair<Key, Value>> MakePairs(uint64_t n, Key stride = 1) {
+  std::vector<std::pair<Key, Value>> pairs;
+  pairs.reserve(n);
+  for (uint64_t i = 1; i <= n; ++i) {
+    pairs.emplace_back(i * stride, i * stride + 7);
+  }
+  return pairs;
+}
+
+TreeOptions K(uint32_t k) {
+  TreeOptions opt;
+  opt.min_entries = k;
+  return opt;
+}
+
+TEST(BulkLoadTest, EmptyInputIsNoop) {
+  SagivTree tree(K(4));
+  ASSERT_TRUE(BulkLoad(&tree, {}).ok());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(TreeChecker(&tree).CheckStructure().ok());
+}
+
+TEST(BulkLoadTest, SingleLeafLoad) {
+  SagivTree tree(K(4));
+  ASSERT_TRUE(BulkLoad(&tree, MakePairs(5)).ok());
+  EXPECT_EQ(tree.Size(), 5u);
+  EXPECT_EQ(tree.Height(), 1u);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(*tree.Search(3), 10u);
+}
+
+TEST(BulkLoadTest, LargeLoadMatchesInsertion) {
+  const auto pairs = MakePairs(50'000, 3);
+  SagivTree loaded(K(16));
+  ASSERT_TRUE(BulkLoad(&loaded, pairs).ok());
+  EXPECT_EQ(loaded.Size(), pairs.size());
+  Status s = TreeChecker(&loaded).CheckStructure(/*require_half_full=*/true);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Identical logical contents to an insert-built tree.
+  size_t i = 0;
+  loaded.Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    EXPECT_EQ(k, pairs[i].first);
+    EXPECT_EQ(v, pairs[i].second);
+    ++i;
+    return true;
+  });
+  EXPECT_EQ(i, pairs.size());
+  // Spot lookups.
+  EXPECT_EQ(*loaded.Search(3), 10u);
+  EXPECT_TRUE(loaded.Search(4).status().IsNotFound());
+}
+
+TEST(BulkLoadTest, FillFactorControlsShape) {
+  const auto pairs = MakePairs(20'000);
+  SagivTree packed(K(32));
+  SagivTree loose(K(32));
+  ASSERT_TRUE(BulkLoad(&packed, pairs, 1.0).ok());
+  ASSERT_TRUE(BulkLoad(&loose, pairs, 0.6).ok());
+  const TreeShape tight = TreeChecker(&packed).ComputeShape();
+  const TreeShape roomy = TreeChecker(&loose).ComputeShape();
+  EXPECT_LT(tight.num_nodes, roomy.num_nodes);
+  EXPECT_GT(tight.avg_leaf_fill, 0.95);
+  EXPECT_NEAR(roomy.avg_leaf_fill, 0.6, 0.05);
+  EXPECT_TRUE(TreeChecker(&packed).CheckStructure().ok());
+  EXPECT_TRUE(TreeChecker(&loose).CheckStructure().ok());
+}
+
+TEST(BulkLoadTest, LoadedTreeSupportsUpdates) {
+  SagivTree tree(K(8));
+  ASSERT_TRUE(BulkLoad(&tree, MakePairs(10'000, 2)).ok());
+  for (Key k = 1; k <= 2000; k += 2) {
+    ASSERT_TRUE(tree.Insert(k, k).ok()) << k;  // odd keys are free
+  }
+  for (Key k = 2; k <= 2000; k += 2) {
+    ASSERT_TRUE(tree.Delete(k).ok()) << k;
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(BulkLoadTest, RejectsBadInput) {
+  SagivTree tree(K(4));
+  EXPECT_TRUE(BulkLoad(&tree, {{5, 1}, {5, 2}}).IsInvalidArgument());
+  EXPECT_TRUE(BulkLoad(&tree, {{7, 1}, {3, 2}}).IsInvalidArgument());
+  EXPECT_TRUE(BulkLoad(&tree, {{0, 1}}).IsInvalidArgument());
+  EXPECT_TRUE(BulkLoad(&tree, MakePairs(5), 0.3).IsInvalidArgument());
+  // The failed loads left the tree untouched and usable.
+  ASSERT_TRUE(BulkLoad(&tree, MakePairs(5)).ok());
+  EXPECT_EQ(tree.Size(), 5u);
+}
+
+TEST(BulkLoadTest, RejectsNonEmptyTree) {
+  SagivTree tree(K(4));
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  EXPECT_TRUE(BulkLoad(&tree, MakePairs(5)).IsInvalidArgument());
+}
+
+TEST(DumpLoadTest, RoundTripPreservesEverything) {
+  SagivTree tree(K(8));
+  Random rng(5);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (int i = 0; i < 10'000; ++i) {
+    (void)tree.Insert(rng.UniformRange(1, 1u << 20), rng.Next());
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(DumpTree(tree, &out).ok());
+
+  std::istringstream in(out.str());
+  auto restored = LoadTree(&in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Size(), tree.Size());
+  EXPECT_EQ((*restored)->options().min_entries, 8u);
+  Status s = TreeChecker(restored->get()).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Pairwise identical.
+  std::vector<std::pair<Key, Value>> original;
+  tree.Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    original.emplace_back(k, v);
+    return true;
+  });
+  size_t i = 0;
+  bool match = true;
+  (*restored)->Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    match = match && i < original.size() && original[i] == std::make_pair(k, v);
+    ++i;
+    return true;
+  });
+  EXPECT_TRUE(match);
+  EXPECT_EQ(i, original.size());
+}
+
+TEST(DumpLoadTest, RejectsCorruptStreams) {
+  std::istringstream bad_magic("XXXX garbage");
+  EXPECT_TRUE(LoadTree(&bad_magic).status().IsInvalidArgument());
+
+  SagivTree tree(K(4));
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(DumpTree(tree, &out).ok());
+  const std::string full = out.str();
+  std::istringstream truncated(full.substr(0, full.size() - 4));
+  EXPECT_TRUE(LoadTree(&truncated).status().IsInvalidArgument());
+}
+
+TEST(DumpLoadTest, EmptyTreeRoundTrip) {
+  SagivTree tree(K(4));
+  std::ostringstream out;
+  ASSERT_TRUE(DumpTree(tree, &out).ok());
+  std::istringstream in(out.str());
+  auto restored = LoadTree(&in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->Size(), 0u);
+}
+
+}  // namespace
+}  // namespace obtree

@@ -1,0 +1,283 @@
+// Copyright 2026 The obtree Authors.
+//
+// Single-threaded functional tests of SagivTree: insert/search/delete
+// semantics against a reference std::map, structural validity after
+// randomized workloads, scans, and edge cases around the reserved key
+// space. Concurrency is exercised in tests/integration/.
+
+#include "obtree/core/sagiv_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obtree/core/tree_checker.h"
+#include "obtree/util/random.h"
+
+namespace obtree {
+namespace {
+
+TreeOptions SmallNodes(uint32_t k = 2) {
+  TreeOptions opt;
+  opt.min_entries = k;  // tiny nodes force deep trees and many splits
+  return opt;
+}
+
+TEST(SagivTreeTest, EmptyTree) {
+  SagivTree tree;
+  ASSERT_TRUE(tree.init_status().ok());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_TRUE(tree.Search(42).status().IsNotFound());
+  EXPECT_TRUE(tree.Delete(42).IsNotFound());
+  EXPECT_TRUE(TreeChecker(&tree).CheckStructure().ok())
+      << TreeChecker(&tree).CheckStructure().ToString();
+}
+
+TEST(SagivTreeTest, InvalidOptionsReported) {
+  TreeOptions opt;
+  opt.min_entries = 0;
+  SagivTree tree(opt);
+  EXPECT_TRUE(tree.init_status().IsInvalidArgument());
+  // The tree fell back to defaults and stays usable.
+  EXPECT_TRUE(tree.Insert(1, 10).ok());
+}
+
+TEST(SagivTreeTest, RejectsReservedKeys) {
+  SagivTree tree;
+  EXPECT_TRUE(tree.Insert(0, 1).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(kPlusInfinity, 1).IsInvalidArgument());
+  EXPECT_TRUE(tree.Search(0).status().IsInvalidArgument());
+  EXPECT_TRUE(tree.Delete(0).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(kMaxUserKey, 7).ok());
+  EXPECT_EQ(*tree.Search(kMaxUserKey), 7u);
+}
+
+TEST(SagivTreeTest, InsertSearchSingle) {
+  SagivTree tree;
+  ASSERT_TRUE(tree.Insert(10, 100).ok());
+  EXPECT_EQ(tree.Size(), 1u);
+  ASSERT_TRUE(tree.Search(10).ok());
+  EXPECT_EQ(*tree.Search(10), 100u);
+  EXPECT_TRUE(tree.Search(9).status().IsNotFound());
+  EXPECT_TRUE(tree.Search(11).status().IsNotFound());
+}
+
+TEST(SagivTreeTest, DuplicateInsertRejected) {
+  SagivTree tree;
+  ASSERT_TRUE(tree.Insert(10, 100).ok());
+  EXPECT_TRUE(tree.Insert(10, 200).IsAlreadyExists());
+  EXPECT_EQ(*tree.Search(10), 100u);  // original value retained
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(SagivTreeTest, SequentialAscendingSplits) {
+  SagivTree tree(SmallNodes());
+  constexpr Key kN = 1000;
+  for (Key k = 1; k <= kN; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k * 2).ok()) << k;
+  }
+  EXPECT_EQ(tree.Size(), kN);
+  EXPECT_GT(tree.Height(), 3u);
+  for (Key k = 1; k <= kN; ++k) {
+    ASSERT_TRUE(tree.Search(k).ok()) << k;
+    EXPECT_EQ(*tree.Search(k), k * 2);
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(tree.stats()->Get(StatId::kSplits), 100u);
+}
+
+TEST(SagivTreeTest, SequentialDescendingSplits) {
+  SagivTree tree(SmallNodes());
+  constexpr Key kN = 1000;
+  for (Key k = kN; k >= 1; --k) {
+    ASSERT_TRUE(tree.Insert(k, k + 7).ok()) << k;
+  }
+  for (Key k = 1; k <= kN; ++k) {
+    ASSERT_EQ(*tree.Search(k), k + 7) << k;
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SagivTreeTest, RandomInsertMatchesReference) {
+  SagivTree tree(SmallNodes(3));
+  std::map<Key, Value> reference;
+  Random rng(20260612);
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = rng.UniformRange(1, 2000);
+    const Value v = rng.Next();
+    const bool fresh = reference.emplace(k, v).second;
+    Status s = tree.Insert(k, v);
+    EXPECT_EQ(s.ok(), fresh) << "key " << k;
+  }
+  EXPECT_EQ(tree.Size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(tree.Search(k).ok()) << k;
+    EXPECT_EQ(*tree.Search(k), v);
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SagivTreeTest, DeleteBasic) {
+  SagivTree tree;
+  for (Key k = 1; k <= 100; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  for (Key k = 2; k <= 100; k += 2) ASSERT_TRUE(tree.Delete(k).ok());
+  EXPECT_EQ(tree.Size(), 50u);
+  for (Key k = 1; k <= 100; ++k) {
+    if (k % 2 == 1) {
+      EXPECT_TRUE(tree.Search(k).ok()) << k;
+    } else {
+      EXPECT_TRUE(tree.Search(k).status().IsNotFound()) << k;
+      EXPECT_TRUE(tree.Delete(k).IsNotFound()) << k;
+    }
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SagivTreeTest, DeleteEverythingLeavesValidTree) {
+  SagivTree tree(SmallNodes());
+  constexpr Key kN = 500;
+  for (Key k = 1; k <= kN; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  for (Key k = 1; k <= kN; ++k) ASSERT_TRUE(tree.Delete(k).ok());
+  EXPECT_EQ(tree.Size(), 0u);
+  // No compression ran: the skeleton of empty leaves persists but must
+  // still be a valid search structure (Section 4 semantics).
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (Key k = 1; k <= kN; ++k) {
+    EXPECT_TRUE(tree.Search(k).status().IsNotFound());
+  }
+}
+
+TEST(SagivTreeTest, ReinsertAfterDelete) {
+  SagivTree tree(SmallNodes());
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(tree.Insert(k, 1).ok());
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(tree.Delete(k).ok());
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(tree.Insert(k, 2).ok()) << k;
+  for (Key k = 1; k <= 300; ++k) EXPECT_EQ(*tree.Search(k), 2u);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SagivTreeTest, MixedWorkloadMatchesReference) {
+  SagivTree tree(SmallNodes(2));
+  std::map<Key, Value> reference;
+  Random rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = rng.UniformRange(1, 800);
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      const Value v = rng.Next();
+      EXPECT_EQ(tree.Insert(k, v).ok(), reference.emplace(k, v).second);
+    } else if (op == 1) {
+      EXPECT_EQ(tree.Delete(k).ok(), reference.erase(k) > 0);
+    } else {
+      auto it = reference.find(k);
+      Result<Value> r = tree.Search(k);
+      EXPECT_EQ(r.ok(), it != reference.end());
+      if (r.ok()) EXPECT_EQ(*r, it->second);
+    }
+  }
+  EXPECT_EQ(tree.Size(), reference.size());
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SagivTreeTest, ScanFullRange) {
+  SagivTree tree(SmallNodes());
+  std::vector<Key> keys;
+  for (Key k = 10; k <= 1000; k += 10) {
+    keys.push_back(k);
+    ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+  }
+  std::vector<Key> seen;
+  size_t n = tree.Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    EXPECT_EQ(v, k + 1);
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(n, keys.size());
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(SagivTreeTest, ScanSubRangeAndEarlyStop) {
+  SagivTree tree(SmallNodes());
+  for (Key k = 1; k <= 500; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  std::vector<Key> seen;
+  tree.Scan(100, 199, [&](Key k, Value) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 199u);
+
+  seen.clear();
+  size_t n = tree.Scan(1, 500, [&](Key k, Value) {
+    seen.push_back(k);
+    return seen.size() < 10;
+  });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(seen.back(), 10u);
+}
+
+TEST(SagivTreeTest, ScanEmptyAndMissRanges) {
+  SagivTree tree;
+  EXPECT_EQ(tree.Scan(1, 100, [](Key, Value) { return true; }), 0u);
+  for (Key k = 50; k <= 60; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  EXPECT_EQ(tree.Scan(1, 49, [](Key, Value) { return true; }), 0u);
+  EXPECT_EQ(tree.Scan(61, 1000, [](Key, Value) { return true; }), 0u);
+  EXPECT_EQ(tree.Scan(55, 55, [](Key, Value) { return true; }), 1u);
+  EXPECT_EQ(tree.Scan(60, 50, [](Key, Value) { return true; }), 0u);
+}
+
+TEST(SagivTreeTest, InsertionsHoldAtMostOneLock) {
+  // The headline claim of the paper: Section 3's protocol never holds two
+  // locks at once, even across splits and root creation.
+  SagivTree tree(SmallNodes());
+  for (Key k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(tree.Insert(ScrambleKey(k) % kMaxUserKey + 1, k).ok());
+  }
+  EXPECT_GT(tree.stats()->Get(StatId::kSplits), 0u);
+  EXPECT_GT(tree.stats()->Get(StatId::kRootCreations), 0u);
+  EXPECT_EQ(tree.stats()->max_locks_held(), 1u);
+}
+
+TEST(SagivTreeTest, StatsCountLogicalOps) {
+  SagivTree tree;
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  ASSERT_TRUE(tree.Insert(2, 2).ok());
+  (void)tree.Search(1);
+  (void)tree.Delete(2);
+  EXPECT_EQ(tree.stats()->Get(StatId::kInserts), 2u);
+  EXPECT_EQ(tree.stats()->Get(StatId::kSearches), 1u);
+  EXPECT_EQ(tree.stats()->Get(StatId::kDeletes), 1u);
+}
+
+TEST(SagivTreeTest, HeightGrowsLogarithmically) {
+  SagivTree tree(SmallNodes(4));  // capacity 8
+  for (Key k = 1; k <= 4096; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  // With fanout <= 8, 4096 keys need at least 4 levels; with fanout >= 4
+  // (half full), at most ~7.
+  EXPECT_GE(tree.Height(), 4u);
+  EXPECT_LE(tree.Height(), 8u);
+}
+
+TEST(SagivTreeTest, LargeKeysNearInfinity) {
+  SagivTree tree(SmallNodes());
+  for (Key k = kMaxUserKey; k > kMaxUserKey - 300; --k) {
+    ASSERT_TRUE(tree.Insert(k, 1).ok());
+  }
+  EXPECT_EQ(tree.Size(), 300u);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace obtree

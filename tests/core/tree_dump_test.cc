@@ -1,0 +1,54 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/core/tree_dump.h"
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TreeOptions K2() {
+  TreeOptions opt;
+  opt.min_entries = 2;
+  return opt;
+}
+
+TEST(TreeDumpTest, EmptyTree) {
+  SagivTree tree(K2());
+  const std::string out = DumpStructureToString(tree);
+  EXPECT_NE(out.find("L0 (root):"), std::string::npos);
+  EXPECT_NE(out.find("n=0"), std::string::npos);
+  EXPECT_NE(out.find("root"), std::string::npos);
+}
+
+TEST(TreeDumpTest, MultiLevelShowsEveryLevel) {
+  SagivTree tree(K2());
+  for (Key k = 1; k <= 100; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  const std::string out = DumpStructureToString(tree);
+  for (uint32_t level = 0; level < tree.Height(); ++level) {
+    EXPECT_NE(out.find("L" + std::to_string(level)), std::string::npos);
+  }
+  EXPECT_NE(out.find("(root)"), std::string::npos);
+  EXPECT_NE(out.find("+inf"), std::string::npos);
+}
+
+TEST(TreeDumpTest, ElidesLongLevels) {
+  SagivTree tree(K2());
+  for (Key k = 1; k <= 500; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  DumpOptions options;
+  options.max_nodes_per_level = 2;
+  const std::string out = DumpStructureToString(tree, options);
+  EXPECT_NE(out.find("more)"), std::string::npos);
+}
+
+TEST(TreeDumpTest, ShowEntriesPrintsPairs) {
+  SagivTree tree(K2());
+  ASSERT_TRUE(tree.Insert(7, 70).ok());
+  DumpOptions options;
+  options.show_entries = true;
+  const std::string out = DumpStructureToString(tree, options);
+  EXPECT_NE(out.find("7=70"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obtree

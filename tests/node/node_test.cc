@@ -1,0 +1,298 @@
+// Copyright 2026 The obtree Authors.
+//
+// Unit tests of the on-page node layout and the restructuring primitives:
+// leaf insert/remove, child-split posting (including the overtaking case),
+// splits, merges, and redistributions.
+
+#include "obtree/node/node.h"
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+Node MakeLeaf(Key low, Key high, PageId link) {
+  Node n;
+  n.Init(0, low, high, link);
+  return n;
+}
+
+Node MakeInternal(Key low, std::initializer_list<Entry> entries,
+                  PageId link = kInvalidPageId) {
+  Node n;
+  n.Init(1, low, 0, link);
+  for (const Entry& e : entries) {
+    n.entries[n.count++] = e;
+  }
+  n.high = n.entries[n.count - 1].key;  // internal invariant
+  return n;
+}
+
+TEST(NodeLayoutTest, SizesAndCapacity) {
+  EXPECT_LE(sizeof(Node), kPageSize);
+  EXPECT_EQ(Node::kMaxEntries, 254u);
+  EXPECT_EQ(offsetof(Node, entries), Node::kHeaderSize);
+}
+
+TEST(NodeLayoutTest, FlagsRoundTrip) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  EXPECT_TRUE(n.is_leaf());
+  EXPECT_FALSE(n.is_root());
+  EXPECT_FALSE(n.is_deleted());
+  n.set_root(true);
+  EXPECT_TRUE(n.is_root());
+  n.set_root(false);
+  EXPECT_FALSE(n.is_root());
+  n.set_deleted(42);
+  EXPECT_TRUE(n.is_deleted());
+  EXPECT_EQ(n.merge_target, 42u);
+}
+
+TEST(NodeSearchTest, LowerBound) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  for (Key k : {10, 20, 30, 40}) n.InsertLeafEntry(k, k);
+  EXPECT_EQ(n.LowerBound(5), 0u);
+  EXPECT_EQ(n.LowerBound(10), 0u);
+  EXPECT_EQ(n.LowerBound(11), 1u);
+  EXPECT_EQ(n.LowerBound(40), 3u);
+  EXPECT_EQ(n.LowerBound(41), 4u);
+}
+
+TEST(NodeSearchTest, FindLeafValue) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  n.InsertLeafEntry(10, 100);
+  n.InsertLeafEntry(20, 200);
+  EXPECT_EQ(n.FindLeafValue(10), 100u);
+  EXPECT_EQ(n.FindLeafValue(20), 200u);
+  EXPECT_FALSE(n.FindLeafValue(15).has_value());
+  EXPECT_FALSE(n.FindLeafValue(30).has_value());
+}
+
+TEST(NodeSearchTest, ChildForPicksCoveringRange) {
+  // Children: c1 covers (0,10], c2 covers (10,20], c3 covers (20,+inf].
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}, {kPlusInfinity, 3}});
+  EXPECT_EQ(n.ChildFor(1), 1u);
+  EXPECT_EQ(n.ChildFor(10), 1u);
+  EXPECT_EQ(n.ChildFor(11), 2u);
+  EXPECT_EQ(n.ChildFor(20), 2u);
+  EXPECT_EQ(n.ChildFor(21), 3u);
+  EXPECT_EQ(n.ChildFor(kMaxUserKey), 3u);
+}
+
+TEST(NodeSearchTest, NextFollowsLinkAboveHigh) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}}, /*link=*/99);
+  Node::NextStep s = n.Next(25);
+  EXPECT_TRUE(s.is_link);
+  EXPECT_EQ(s.page, 99u);
+  s = n.Next(15);
+  EXPECT_FALSE(s.is_link);
+  EXPECT_EQ(s.page, 2u);
+}
+
+TEST(NodeLeafTest, InsertKeepsOrder) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  for (Key k : {30, 10, 20, 40, 5}) n.InsertLeafEntry(k, k * 2);
+  ASSERT_EQ(n.count, 5u);
+  Key prev = 0;
+  for (uint32_t i = 0; i < n.count; ++i) {
+    EXPECT_GT(n.entries[i].key, prev);
+    EXPECT_EQ(n.entries[i].value, n.entries[i].key * 2);
+    prev = n.entries[i].key;
+  }
+}
+
+TEST(NodeLeafTest, RemovePresentAndAbsent) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  for (Key k : {10, 20, 30}) n.InsertLeafEntry(k, k);
+  EXPECT_TRUE(n.RemoveLeafEntry(20));
+  EXPECT_EQ(n.count, 2u);
+  EXPECT_FALSE(n.RemoveLeafEntry(20));
+  EXPECT_FALSE(n.RemoveLeafEntry(99));
+  EXPECT_EQ(n.entries[0].key, 10u);
+  EXPECT_EQ(n.entries[1].key, 30u);
+}
+
+TEST(NodeInternalTest, InsertChildSplitNormalCase) {
+  // Child 1 (covering (0,10]) split at 5; keys > 5 went to page 7.
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}});
+  ASSERT_TRUE(n.InsertChildSplit(5, 7));
+  ASSERT_EQ(n.count, 3u);
+  EXPECT_EQ(n.entries[0].key, 5u);
+  EXPECT_EQ(n.entries[0].value, 1u);  // left part keeps the old child
+  EXPECT_EQ(n.entries[1].key, 10u);
+  EXPECT_EQ(n.entries[1].value, 7u);  // right part is the new node
+  EXPECT_EQ(n.entries[2].key, 20u);
+}
+
+TEST(NodeInternalTest, InsertChildSplitWithOvertaking) {
+  // Section 3.1: two splits below the same parent may post in any order.
+  // Child A (page 1) covering (0,20] split at 10 -> B (page 7); B then
+  // split at 15 -> C (page 8). B's post arrives FIRST.
+  Node n = MakeInternal(0, {{20, 1}, {30, 2}});
+  ASSERT_TRUE(n.InsertChildSplit(15, 8));  // B's split, overtaking
+  // Now (15 -> 1), (20 -> 8): the 15-entry temporarily points left of the
+  // true owner; links recover searches (Theorem 1's validity assertion).
+  EXPECT_EQ(n.entries[0].key, 15u);
+  EXPECT_EQ(n.entries[0].value, 1u);
+  EXPECT_EQ(n.entries[1].value, 8u);
+  ASSERT_TRUE(n.InsertChildSplit(10, 7));  // A's split arrives second
+  ASSERT_EQ(n.count, 4u);
+  // Final layout is exactly right: (10->1),(15->7),(20->8),(30->2).
+  EXPECT_EQ(n.entries[0].key, 10u);
+  EXPECT_EQ(n.entries[0].value, 1u);
+  EXPECT_EQ(n.entries[1].key, 15u);
+  EXPECT_EQ(n.entries[1].value, 7u);
+  EXPECT_EQ(n.entries[2].key, 20u);
+  EXPECT_EQ(n.entries[2].value, 8u);
+  EXPECT_EQ(n.entries[3].key, 30u);
+  EXPECT_EQ(n.entries[3].value, 2u);
+}
+
+TEST(NodeInternalTest, InsertChildSplitRejectsDuplicateSeparator) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}});
+  EXPECT_FALSE(n.InsertChildSplit(10, 7));
+  EXPECT_EQ(n.count, 2u);
+}
+
+TEST(NodeInternalTest, FindChildIndex) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}, {30, 3}});
+  EXPECT_EQ(n.FindChildIndex(2), 1);
+  EXPECT_EQ(n.FindChildIndex(3), 2);
+  EXPECT_EQ(n.FindChildIndex(9), -1);
+}
+
+TEST(NodeInternalTest, ApplyChildMerge) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}, {30, 3}});
+  // Child 2 merged into child 1: entry (10 -> 1) disappears, (20 -> 2)
+  // becomes (20 -> 1).
+  ASSERT_TRUE(n.ApplyChildMerge(10, 1, 2));
+  ASSERT_EQ(n.count, 2u);
+  EXPECT_EQ(n.entries[0].key, 20u);
+  EXPECT_EQ(n.entries[0].value, 1u);
+  EXPECT_EQ(n.entries[1].key, 30u);
+  EXPECT_EQ(n.entries[1].value, 3u);
+}
+
+TEST(NodeInternalTest, ApplyChildMergeValidatesLayout) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}});
+  EXPECT_FALSE(n.ApplyChildMerge(10, 9, 2));   // wrong left child
+  EXPECT_FALSE(n.ApplyChildMerge(10, 1, 9));   // wrong right child
+  EXPECT_FALSE(n.ApplyChildMerge(11, 1, 2));   // wrong separator
+  EXPECT_FALSE(n.ApplyChildMerge(20, 2, 1));   // no successor entry
+  EXPECT_EQ(n.count, 2u);
+}
+
+TEST(NodeInternalTest, ApplyChildSeparatorChange) {
+  Node n = MakeInternal(0, {{10, 1}, {20, 2}});
+  ASSERT_TRUE(n.ApplyChildSeparatorChange(10, 14, 1));
+  EXPECT_EQ(n.entries[0].key, 14u);
+  EXPECT_FALSE(n.ApplyChildSeparatorChange(14, 25, 1));  // would reorder
+  EXPECT_FALSE(n.ApplyChildSeparatorChange(99, 5, 1));   // absent
+  EXPECT_FALSE(n.ApplyChildSeparatorChange(20, 15, 9));  // wrong child
+}
+
+TEST(NodeSplitTest, LeafSplitBalancesAndChains) {
+  Node a = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  for (Key k = 1; k <= 9; ++k) a.InsertLeafEntry(k * 10, k);
+  Node b;
+  a.SplitInto(&b, /*right_page=*/55);
+  EXPECT_EQ(a.count, 5u);             // left keeps the ceiling half
+  EXPECT_EQ(b.count, 4u);
+  EXPECT_EQ(a.high, 50u);             // largest remaining key
+  EXPECT_EQ(a.link, 55u);             // A links to B
+  EXPECT_EQ(b.low, 50u);              // B.low == A.high
+  EXPECT_EQ(b.high, kPlusInfinity);   // B inherits A's old high
+  EXPECT_EQ(b.link, kInvalidPageId);  // and A's old link
+  EXPECT_EQ(b.entries[0].key, 60u);
+  EXPECT_EQ(b.level, a.level);
+}
+
+TEST(NodeSplitTest, InternalSplitKeepsHighInvariant) {
+  Node a = MakeInternal(0, {{10, 1}, {20, 2}, {30, 3}, {kPlusInfinity, 4}});
+  Node b;
+  a.SplitInto(&b, 77);
+  EXPECT_EQ(a.high, a.entries[a.count - 1].key);
+  EXPECT_EQ(b.high, b.entries[b.count - 1].key);
+  EXPECT_EQ(b.high, kPlusInfinity);
+  EXPECT_EQ(a.count + b.count, 4u);
+}
+
+TEST(NodeMergeTest, MergeFromRightAppends) {
+  Node a = MakeLeaf(0, 30, 2);
+  a.InsertLeafEntry(10, 1);
+  Node b = MakeLeaf(30, kPlusInfinity, kInvalidPageId);
+  b.InsertLeafEntry(40, 4);
+  b.InsertLeafEntry(50, 5);
+  a.MergeFromRight(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.high, kPlusInfinity);
+  EXPECT_EQ(a.link, kInvalidPageId);
+  EXPECT_EQ(a.low, 0u);  // unchanged
+  EXPECT_EQ(a.entries[2].key, 50u);
+}
+
+TEST(NodeRedistributeTest, RightToLeft) {
+  Node a = MakeLeaf(0, 15, 2);
+  a.InsertLeafEntry(10, 1);
+  Node b = MakeLeaf(15, kPlusInfinity, kInvalidPageId);
+  for (Key k : {20, 30, 40, 50, 60}) b.InsertLeafEntry(k, k);
+  const Key sep = a.RedistributeWithRight(&b, 3);
+  EXPECT_GE(a.count, 3u);
+  EXPECT_GE(b.count, 3u);
+  EXPECT_EQ(a.count + b.count, 6u);
+  EXPECT_EQ(sep, a.entries[a.count - 1].key);
+  EXPECT_EQ(a.high, sep);
+  EXPECT_EQ(b.low, sep);
+  EXPECT_LT(a.entries[a.count - 1].key, b.entries[0].key);
+}
+
+TEST(NodeRedistributeTest, LeftToRight) {
+  Node a = MakeLeaf(0, 65, 2);
+  for (Key k : {10, 20, 30, 40, 50, 60}) a.InsertLeafEntry(k, k);
+  Node b = MakeLeaf(65, kPlusInfinity, kInvalidPageId);
+  b.InsertLeafEntry(70, 7);
+  const Key sep = a.RedistributeWithRight(&b, 3);
+  EXPECT_GE(a.count, 3u);
+  EXPECT_GE(b.count, 3u);
+  EXPECT_EQ(sep, a.high);
+  EXPECT_EQ(b.low, sep);
+  // b's old entries stay at the tail, in order.
+  EXPECT_EQ(b.entries[b.count - 1].key, 70u);
+  Key prev = 0;
+  for (uint32_t i = 0; i < b.count; ++i) {
+    EXPECT_GT(b.entries[i].key, prev);
+    prev = b.entries[i].key;
+  }
+}
+
+TEST(NodeRedistributeTest, InternalEntriesCarryChildren) {
+  Node a = MakeInternal(0, {{10, 1}});
+  Node b = MakeInternal(10, {{20, 2}, {30, 3}, {40, 4}, {50, 5}});
+  const Key sep = a.RedistributeWithRight(&b, 2);
+  EXPECT_GE(a.count, 2u);
+  EXPECT_GE(b.count, 2u);
+  EXPECT_EQ(a.high, sep);
+  EXPECT_EQ(a.entries[a.count - 1].key, sep);
+  // Every (key, child) pair survived intact somewhere.
+  std::map<Key, uint64_t> all;
+  for (uint32_t i = 0; i < a.count; ++i) {
+    all[a.entries[i].key] = a.entries[i].value;
+  }
+  for (uint32_t i = 0; i < b.count; ++i) {
+    all[b.entries[i].key] = b.entries[i].value;
+  }
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[10], 1u);
+  EXPECT_EQ(all[50], 5u);
+}
+
+TEST(NodeDebugTest, DebugStringMentionsState) {
+  Node n = MakeLeaf(0, kPlusInfinity, kInvalidPageId);
+  n.set_root(true);
+  const std::string s = n.DebugString();
+  EXPECT_NE(s.find("root"), std::string::npos);
+  EXPECT_NE(s.find("leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obtree

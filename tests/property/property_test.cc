@@ -1,0 +1,301 @@
+// Copyright 2026 The obtree Authors.
+//
+// Property-style parameterized sweeps (TEST_P): the structural invariants
+// of Theorem 1/2 must hold for every node size k, every insertion pattern,
+// every compression deployment, and every random seed — not just the
+// hand-picked cases in the unit tests.
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obtree/core/compression_queue.h"
+#include "obtree/core/queue_compressor.h"
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/core/scan_compressor.h"
+#include "obtree/core/tree_checker.h"
+#include "obtree/util/random.h"
+
+namespace obtree {
+namespace {
+
+enum class Pattern { kAscending, kDescending, kRandom, kZigzag, kClustered };
+
+const char* PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::kAscending: return "asc";
+    case Pattern::kDescending: return "desc";
+    case Pattern::kRandom: return "random";
+    case Pattern::kZigzag: return "zigzag";
+    case Pattern::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+std::vector<Key> MakeKeys(Pattern pattern, uint64_t n) {
+  std::vector<Key> keys(n);
+  std::iota(keys.begin(), keys.end(), Key{1});
+  switch (pattern) {
+    case Pattern::kAscending:
+      break;
+    case Pattern::kDescending:
+      std::reverse(keys.begin(), keys.end());
+      break;
+    case Pattern::kRandom: {
+      Random rng(n * 31 + 7);
+      rng.Shuffle(&keys);
+      break;
+    }
+    case Pattern::kZigzag: {
+      // Alternate low end / high end: stresses both leftmost and rightmost
+      // split paths.
+      std::vector<Key> zig;
+      zig.reserve(n);
+      uint64_t lo = 0;
+      uint64_t hi = n - 1;
+      while (lo <= hi && hi != UINT64_MAX) {
+        zig.push_back(keys[lo++]);
+        if (lo <= hi) zig.push_back(keys[hi--]);
+      }
+      keys = std::move(zig);
+      break;
+    }
+    case Pattern::kClustered: {
+      // Dense runs at scattered bases: repeated locality shifts.
+      std::vector<Key> out;
+      out.reserve(n);
+      std::vector<bool> present(n + 1, false);
+      const uint64_t run = 16;
+      for (uint64_t base = 0; base < n; base += run) {
+        const uint64_t scrambled =
+            ScrambleKey(base / run) % ((n + run - 1) / run);
+        for (uint64_t i = 0; i < run; ++i) {
+          const uint64_t v = scrambled * run + i;
+          if (v < n && !present[keys[v]]) {
+            present[keys[v]] = true;
+            out.push_back(keys[v]);
+          }
+        }
+      }
+      // Scramble collisions skip some runs; append whatever is missing.
+      for (Key k = 1; k <= n; ++k) {
+        if (!present[k]) out.push_back(k);
+      }
+      keys = std::move(out);
+      break;
+    }
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: (k, pattern) — build, verify, delete half, compress, verify.
+// ---------------------------------------------------------------------------
+
+using BuildParams = std::tuple<uint32_t /*k*/, Pattern>;
+
+class BuildSweep : public ::testing::TestWithParam<BuildParams> {};
+
+TEST_P(BuildSweep, BuildDeleteCompressInvariants) {
+  const auto [k, pattern] = GetParam();
+  TreeOptions options;
+  options.min_entries = k;
+  SagivTree tree(options);
+  ASSERT_TRUE(tree.init_status().ok());
+
+  const uint64_t n = 1500;
+  const std::vector<Key> keys = MakeKeys(pattern, n);
+  ASSERT_EQ(keys.size(), n);
+  for (Key key : keys) {
+    ASSERT_TRUE(tree.Insert(key, key * 2).ok()) << key;
+  }
+  ASSERT_EQ(tree.Size(), n);
+  Status s = TreeChecker(&tree).CheckStructure();
+  ASSERT_TRUE(s.ok()) << PatternName(pattern) << " k=" << k << ": "
+                      << s.ToString();
+  EXPECT_EQ(tree.stats()->max_locks_held(), 1u);
+
+  // Keys all retrievable, in order, with correct values.
+  Key prev = 0;
+  uint64_t seen = 0;
+  tree.Scan(1, kMaxUserKey, [&](Key key, Value v) {
+    EXPECT_GT(key, prev);
+    EXPECT_EQ(v, key * 2);
+    prev = key;
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, n);
+
+  // Delete every other key (w.r.t. insertion order), compress, re-verify.
+  for (uint64_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(keys[i]).ok()) << keys[i];
+  }
+  ScanCompressor compressor(&tree);
+  for (int pass = 0; pass < 100; ++pass) {
+    if (compressor.FullPass() == 0) break;
+  }
+  s = TreeChecker(&tree).CheckStructure(/*require_half_full=*/true);
+  ASSERT_TRUE(s.ok()) << PatternName(pattern) << " k=" << k << ": "
+                      << s.ToString();
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(tree.Search(keys[i]).ok(), i % 2 == 1) << keys[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeSizesAndPatterns, BuildSweep,
+    ::testing::Combine(::testing::Values(2u, 3u, 8u, 32u, 126u),
+                       ::testing::Values(Pattern::kAscending,
+                                         Pattern::kDescending,
+                                         Pattern::kRandom, Pattern::kZigzag,
+                                         Pattern::kClustered)),
+    [](const ::testing::TestParamInfo<BuildParams>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             PatternName(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: random-seed fuzz against a reference model, with queue
+// compression draining mid-stream.
+// ---------------------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, FuzzAgainstReferenceWithCompression) {
+  const uint64_t seed = GetParam();
+  TreeOptions options;
+  options.min_entries = 2 + seed % 5;
+  options.enqueue_underfull_on_delete = true;
+  SagivTree tree(options);
+  CompressionQueue queue;
+  queue.RegisterWith(tree.epoch());
+  tree.AttachCompressionQueue(&queue);
+  QueueCompressor compressor(&tree, &queue);
+
+  std::map<Key, Value> reference;
+  Random rng(seed);
+  const Key key_space = 300 + (seed % 7) * 250;
+  for (int i = 0; i < 12000; ++i) {
+    const Key k = rng.UniformRange(1, key_space);
+    const double p = rng.NextDouble();
+    if (p < 0.40) {
+      const Value v = rng.Next();
+      ASSERT_EQ(tree.Insert(k, v).ok(), reference.emplace(k, v).second);
+    } else if (p < 0.75) {
+      ASSERT_EQ(tree.Delete(k).ok(), reference.erase(k) > 0);
+    } else if (p < 0.95) {
+      auto it = reference.find(k);
+      Result<Value> r = tree.Search(k);
+      ASSERT_EQ(r.ok(), it != reference.end()) << k;
+      if (r.ok()) ASSERT_EQ(*r, it->second);
+    } else {
+      compressor.Drain();
+    }
+  }
+  compressor.Drain();
+  ASSERT_EQ(tree.Size(), reference.size());
+  Status s = TreeChecker(&tree).CheckStructure();
+  ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+
+  // Full content equivalence via an ordered walk.
+  auto it = reference.begin();
+  tree.Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    EXPECT_NE(it, reference.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: thread counts — concurrent disjoint inserts + shared deletes
+// keep Size() exact for any parallelism.
+// ---------------------------------------------------------------------------
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, ExactSizeUnderConcurrency) {
+  const int threads = GetParam();
+  TreeOptions options;
+  options.min_entries = 3;
+  SagivTree tree(options);
+
+  constexpr Key kPerThread = 2500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&tree, t]() {
+      const Key base = static_cast<Key>(t) * kPerThread + 1;
+      // Insert own range, then delete the odd half of it.
+      for (Key k = base; k < base + kPerThread; ++k) {
+        ASSERT_TRUE(tree.Insert(k, k).ok());
+      }
+      for (Key k = base; k < base + kPerThread; k += 2) {
+        ASSERT_TRUE(tree.Delete(k).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(tree.Size(),
+            static_cast<uint64_t>(threads) * kPerThread / 2);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(tree.stats()->max_locks_held(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, ThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: scan windows — every (lo, hi) window returns exactly the keys
+// a reference set says it should, for several strides.
+// ---------------------------------------------------------------------------
+
+class ScanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSweep, WindowsMatchReference) {
+  const int stride = GetParam();
+  TreeOptions options;
+  options.min_entries = 2;
+  SagivTree tree(options);
+  std::vector<Key> keys;
+  for (Key k = static_cast<Key>(stride); k <= 3000;
+       k += static_cast<Key>(stride)) {
+    keys.push_back(k);
+    ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+  }
+  Random rng(static_cast<uint64_t>(stride));
+  for (int trial = 0; trial < 50; ++trial) {
+    Key lo = rng.UniformRange(1, 3200);
+    Key hi = rng.UniformRange(1, 3200);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<Key> expected;
+    for (Key k : keys) {
+      if (k >= lo && k <= hi) expected.push_back(k);
+    }
+    std::vector<Key> got;
+    tree.Scan(lo, hi, [&](Key k, Value v) {
+      EXPECT_EQ(v, k + 1);
+      got.push_back(k);
+      return true;
+    });
+    ASSERT_EQ(got, expected) << "window [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, ScanSweep,
+                         ::testing::Values(1, 2, 3, 7, 13, 97));
+
+}  // namespace
+}  // namespace obtree

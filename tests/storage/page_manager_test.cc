@@ -1,0 +1,234 @@
+// Copyright 2026 The obtree Authors.
+//
+// Tests of the §2.2 storage model: indivisible get/put (readers never see a
+// torn page), paper locks that exclude lockers but not readers, and the
+// §5.3 retire/reclaim cycle.
+
+#include "obtree/storage/page_manager.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+class PageManagerTest : public ::testing::Test {
+ protected:
+  EpochManager epoch_;
+  StatsCollector stats_;
+  PageManager pm_{&epoch_, &stats_};
+};
+
+TEST_F(PageManagerTest, AllocateDistinctIds) {
+  auto a = pm_.Allocate();
+  auto b = pm_.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(pm_.live_pages(), 2u);
+}
+
+TEST_F(PageManagerTest, PutThenGetRoundTrips) {
+  auto id = pm_.Allocate();
+  ASSERT_TRUE(id.ok());
+  Page w;
+  for (size_t i = 0; i < kPageSize; ++i) w.bytes[i] = static_cast<uint8_t>(i);
+  pm_.Put(*id, w);
+  Page r;
+  pm_.Get(*id, &r);
+  EXPECT_EQ(std::memcmp(w.bytes, r.bytes, kPageSize), 0);
+}
+
+TEST_F(PageManagerTest, FreshAllocationIsZeroed) {
+  auto id = pm_.Allocate();
+  ASSERT_TRUE(id.ok());
+  Page r;
+  pm_.Get(*id, &r);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(r.bytes[i], 0u) << i;
+}
+
+TEST_F(PageManagerTest, GetPutCountStats) {
+  auto id = pm_.Allocate();
+  Page p{};
+  pm_.Put(*id, p);
+  pm_.Get(*id, &p);
+  pm_.Get(*id, &p);
+  EXPECT_EQ(stats_.Get(StatId::kPuts), 1u);
+  EXPECT_EQ(stats_.Get(StatId::kGets), 2u);
+}
+
+TEST_F(PageManagerTest, LockExcludesOtherLockers) {
+  auto id = pm_.Allocate();
+  pm_.Lock(*id);
+  std::atomic<bool> acquired{false};
+  std::thread t([&]() {
+    pm_.Lock(*id);
+    acquired.store(true);
+    pm_.Unlock(*id);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  pm_.Unlock(*id);
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST_F(PageManagerTest, LockDoesNotBlockReaders) {
+  auto id = pm_.Allocate();
+  Page w{};
+  w.bytes[0] = 42;
+  pm_.Put(*id, w);
+  pm_.Lock(*id);
+  // The paper: "a lock on a node does not prevent other processes from
+  // reading the locked node."
+  std::atomic<bool> read_ok{false};
+  std::thread t([&]() {
+    Page r;
+    pm_.Get(*id, &r);
+    read_ok.store(r.bytes[0] == 42);
+  });
+  t.join();
+  pm_.Unlock(*id);
+  EXPECT_TRUE(read_ok.load());
+}
+
+TEST_F(PageManagerTest, TryLockReportsContention) {
+  auto id = pm_.Allocate();
+  EXPECT_TRUE(pm_.TryLock(*id));
+  std::thread t([&]() { EXPECT_FALSE(pm_.TryLock(*id)); });
+  t.join();
+  pm_.Unlock(*id);
+  EXPECT_TRUE(pm_.TryLock(*id));
+  pm_.Unlock(*id);
+}
+
+TEST_F(PageManagerTest, LockDepthTracked) {
+  auto a = pm_.Allocate();
+  auto b = pm_.Allocate();
+  EXPECT_EQ(PageManager::LocksHeldByThisThread(), 0);
+  pm_.Lock(*a);
+  EXPECT_EQ(PageManager::LocksHeldByThisThread(), 1);
+  pm_.Lock(*b);
+  EXPECT_EQ(PageManager::LocksHeldByThisThread(), 2);
+  EXPECT_EQ(stats_.max_locks_held(), 2u);
+  pm_.Unlock(*b);
+  pm_.Unlock(*a);
+  EXPECT_EQ(PageManager::LocksHeldByThisThread(), 0);
+}
+
+TEST_F(PageManagerTest, RetiredPageNotReusedWhileGuardActive) {
+  auto id = pm_.Allocate();
+  auto guard = std::make_unique<EpochManager::Guard>(&epoch_);
+  pm_.Retire(*id);  // retired AFTER the guard started -> protected
+  EXPECT_EQ(pm_.Reclaim(), 0u);
+  EXPECT_EQ(pm_.retired_pages(), 1u);
+  guard.reset();
+  EXPECT_EQ(pm_.Reclaim(), 1u);
+  EXPECT_EQ(pm_.free_pages(), 1u);
+}
+
+TEST_F(PageManagerTest, RetireBeforeGuardIsReclaimable) {
+  auto id = pm_.Allocate();
+  pm_.Retire(*id);
+  EpochManager::Guard guard(&epoch_);  // started after the retirement
+  EXPECT_EQ(pm_.Reclaim(), 1u);
+}
+
+TEST_F(PageManagerTest, ReusedPageIsZeroed) {
+  auto id = pm_.Allocate();
+  Page w;
+  std::memset(w.bytes, 0xAB, kPageSize);
+  pm_.Put(*id, w);
+  pm_.Retire(*id);
+  ASSERT_EQ(pm_.Reclaim(), 1u);
+  auto id2 = pm_.Allocate();
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, *id);  // the page was recycled
+  Page r;
+  pm_.Get(*id2, &r);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(r.bytes[i], 0u) << i;
+}
+
+TEST_F(PageManagerTest, AllocateHarvestsRetiredWithoutExplicitReclaim) {
+  auto id = pm_.Allocate();
+  pm_.Retire(*id);
+  // No Reclaim() call: Allocate must harvest on its own.
+  auto id2 = pm_.Allocate();
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, *id);
+}
+
+TEST_F(PageManagerTest, StatsCountRetireAndReclaim) {
+  auto id = pm_.Allocate();
+  pm_.Retire(*id);
+  pm_.Reclaim();
+  EXPECT_EQ(stats_.Get(StatId::kNodesRetired), 1u);
+  EXPECT_EQ(stats_.Get(StatId::kNodesReclaimed), 1u);
+}
+
+TEST_F(PageManagerTest, ManyPagesAcrossChunks) {
+  // Cross the 1024-page chunk boundary.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3000; ++i) {
+    auto id = pm_.Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  Page w{};
+  w.bytes[7] = 9;
+  pm_.Put(ids.back(), w);
+  Page r;
+  pm_.Get(ids.back(), &r);
+  EXPECT_EQ(r.bytes[7], 9u);
+  EXPECT_EQ(pm_.allocated_pages(), 3000u);
+}
+
+// Seqlock torture: a writer alternates between two full-page patterns while
+// readers verify they only ever observe one pattern or the other.
+TEST_F(PageManagerTest, ReadersNeverSeeTornPages) {
+  auto id = pm_.Allocate();
+  ASSERT_TRUE(id.ok());
+  Page a;
+  Page b;
+  std::memset(a.bytes, 0x11, kPageSize);
+  std::memset(b.bytes, 0xEE, kPageSize);
+  pm_.Put(*id, a);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      Page r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        pm_.Get(*id, &r);
+        const uint8_t first = r.bytes[0];
+        if (first != 0x11 && first != 0xEE) {
+          torn.store(true);
+          break;
+        }
+        for (size_t i = 0; i < kPageSize; ++i) {
+          if (r.bytes[i] != first) {
+            torn.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (int i = 0; i < 20000; ++i) pm_.Put(*id, (i & 1) ? b : a);
+    stop.store(true);
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace obtree

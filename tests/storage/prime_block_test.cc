@@ -1,0 +1,81 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/storage/prime_block.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TEST(PrimeBlockTest, WriteThenRead) {
+  PrimeBlock pb;
+  PrimeBlockData d;
+  d.num_levels = 2;
+  d.leftmost[0] = 7;
+  d.leftmost[1] = 9;
+  pb.Write(d);
+  PrimeBlockData r = pb.Read();
+  EXPECT_EQ(r.num_levels, 2u);
+  EXPECT_EQ(r.leftmost[0], 7u);
+  EXPECT_EQ(r.leftmost[1], 9u);
+  EXPECT_EQ(r.root(), 9u);
+  EXPECT_EQ(r.root_level(), 1u);
+}
+
+TEST(PrimeBlockTest, RootIsTopLeftmost) {
+  PrimeBlockData d;
+  d.num_levels = 1;
+  d.leftmost[0] = 3;
+  EXPECT_EQ(d.root(), 3u);
+  EXPECT_EQ(d.root_level(), 0u);
+}
+
+// Readers racing a writer must always observe a consistent (num_levels,
+// leftmost[top]) pair: we encode the level count into every pointer so a
+// torn read is detectable.
+TEST(PrimeBlockTest, ConcurrentReadsAreConsistent) {
+  PrimeBlock pb;
+  PrimeBlockData init;
+  init.num_levels = 1;
+  init.leftmost[0] = 1;
+  pb.Write(init);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> inconsistent{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        PrimeBlockData d = pb.Read();
+        for (uint32_t i = 0; i < d.num_levels; ++i) {
+          if (d.leftmost[i] != d.num_levels * 100 + i && d.num_levels != 1) {
+            inconsistent.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (uint32_t n = 2; n < 2000; ++n) {
+      PrimeBlockData d;
+      d.num_levels = n % (kMaxLevels - 1) + 2;
+      for (uint32_t i = 0; i < d.num_levels; ++i) {
+        d.leftmost[i] = d.num_levels * 100 + i;
+      }
+      pb.Write(d);
+    }
+    stop.store(true);
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(inconsistent.load());
+}
+
+}  // namespace
+}  // namespace obtree

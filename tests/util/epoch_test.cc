@@ -1,0 +1,116 @@
+// Copyright 2026 The obtree Authors.
+//
+// Tests of the §5.3 reclamation rule: pages retired at time t are released
+// only when every active operation started after t and every registered
+// external structure (compression queues) holds only younger stamps.
+
+#include "obtree/util/epoch.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TEST(EpochTest, ClockAdvances) {
+  EpochManager mgr;
+  const Timestamp a = mgr.Now();
+  const Timestamp b = mgr.Advance();
+  EXPECT_GT(b, a);
+  EXPECT_GE(mgr.Now(), b);
+}
+
+TEST(EpochTest, NoActiveMeansMaxTimestamp) {
+  EpochManager mgr;
+  EXPECT_EQ(mgr.MinActive(), kMaxTimestamp);
+  EXPECT_EQ(mgr.ActiveCount(), 0);
+}
+
+TEST(EpochTest, GuardPinsStartTime) {
+  EpochManager mgr;
+  {
+    EpochManager::Guard g(&mgr);
+    EXPECT_EQ(mgr.ActiveCount(), 1);
+    EXPECT_LE(mgr.MinActive(), g.start_time());
+    mgr.Advance();
+    mgr.Advance();
+    // The pin does not move forward with the clock.
+    EXPECT_LE(mgr.MinActive(), g.start_time());
+  }
+  EXPECT_EQ(mgr.ActiveCount(), 0);
+  EXPECT_EQ(mgr.MinActive(), kMaxTimestamp);
+}
+
+TEST(EpochTest, RefreshMovesPinForward) {
+  EpochManager mgr;
+  EpochManager::Guard g(&mgr);
+  const Timestamp before = g.start_time();
+  mgr.Advance();
+  mgr.Advance();
+  g.Refresh();
+  EXPECT_GT(g.start_time(), before);
+  EXPECT_GE(mgr.MinActive(), before);
+}
+
+TEST(EpochTest, MinOfSeveralGuards) {
+  EpochManager mgr;
+  auto g1 = std::make_unique<EpochManager::Guard>(&mgr);
+  auto g2 = std::make_unique<EpochManager::Guard>(&mgr);
+  auto g3 = std::make_unique<EpochManager::Guard>(&mgr);
+  EXPECT_EQ(mgr.ActiveCount(), 3);
+  const Timestamp oldest = g1->start_time();
+  EXPECT_LE(mgr.MinActive(), oldest);
+  g1.reset();
+  EXPECT_GT(mgr.MinActive(), oldest);  // the floor advanced
+  g2.reset();
+  g3.reset();
+  EXPECT_EQ(mgr.MinActive(), kMaxTimestamp);
+}
+
+TEST(EpochTest, ExternalProviderHoldsFloor) {
+  EpochManager mgr;
+  std::atomic<Timestamp> queue_min{kMaxTimestamp};
+  mgr.RegisterExternalMinProvider([&]() { return queue_min.load(); });
+  EXPECT_EQ(mgr.MinActive(), kMaxTimestamp);
+  queue_min.store(5);
+  EXPECT_EQ(mgr.MinActive(), 5u);
+  queue_min.store(kMaxTimestamp);
+  EXPECT_EQ(mgr.MinActive(), kMaxTimestamp);
+}
+
+TEST(EpochTest, ManyConcurrentGuards) {
+  EpochManager mgr;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kIters; ++i) {
+        EpochManager::Guard g(&mgr);
+        // While we are pinned, the floor can never exceed our start time.
+        if (mgr.MinActive() > g.start_time()) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(mgr.ActiveCount(), 0);
+}
+
+TEST(EpochTest, SlotReuseAcrossManyGuards) {
+  EpochManager mgr;
+  // Sequentially create far more guards than slots: slots must recycle.
+  for (int i = 0; i < EpochManager::kMaxSlots * 3; ++i) {
+    EpochManager::Guard g(&mgr);
+    EXPECT_EQ(mgr.ActiveCount(), 1);
+  }
+  EXPECT_EQ(mgr.ActiveCount(), 0);
+}
+
+}  // namespace
+}  // namespace obtree

@@ -1,0 +1,85 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.mean(), 100.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 4; ++v) h.Add(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Add(v);
+  const uint64_t p50 = h.Percentile(50);
+  const uint64_t p90 = h.Percentile(90);
+  const uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Log-bucket error bound: within ~25% of the true percentile.
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(p90), 9000.0, 2500.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v = 1; v <= 100; ++v) a.Add(v);
+  for (uint64_t v = 1000; v <= 1100; ++v) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1100u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(UINT64_MAX);
+  h.Add(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GE(h.Percentile(99), UINT64_MAX / 4);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(7);
+  EXPECT_NE(h.ToString().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obtree

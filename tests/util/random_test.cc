@@ -1,0 +1,117 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformRange(100, 110);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 110u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random rng(77);
+  int heads = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.3, 0.02);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Random rng(8);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 1000u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Random rng(11);
+  ZipfGenerator zipf(10000, 0.99);
+  constexpr int kDraws = 200000;
+  int top10 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(&rng) < 10) ++top10;
+  }
+  // Under theta=0.99 the 10 hottest items attract a large share; under
+  // uniform they would get 0.1%.
+  EXPECT_GT(static_cast<double>(top10) / kDraws, 0.20);
+}
+
+TEST(ZipfTest, Theta05LessSkewedThanTheta099) {
+  Random rng(12);
+  ZipfGenerator hot(10000, 0.99);
+  ZipfGenerator mild(10000, 0.5);
+  int hot10 = 0;
+  int mild10 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (hot.Next(&rng) < 10) ++hot10;
+    if (mild.Next(&rng) < 10) ++mild10;
+  }
+  EXPECT_GT(hot10, mild10 * 2);
+}
+
+TEST(ScrambleKeyTest, Bijective) {
+  std::set<uint64_t> out;
+  for (uint64_t i = 0; i < 10000; ++i) out.insert(ScrambleKey(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(ScrambleKeyTest, Deterministic) {
+  EXPECT_EQ(ScrambleKey(42), ScrambleKey(42));
+  EXPECT_NE(ScrambleKey(42), ScrambleKey(43));
+}
+
+}  // namespace
+}  // namespace obtree

@@ -1,0 +1,64 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace obtree {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, CodesAreDistinct) {
+  Status nf = Status::NotFound();
+  EXPECT_FALSE(nf.ok());
+  EXPECT_FALSE(nf.IsAlreadyExists());
+  EXPECT_FALSE(nf.IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace obtree

@@ -1,0 +1,153 @@
+// Copyright 2026 The obtree Authors.
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/workload/driver.h"
+#include "obtree/workload/generator.h"
+#include "obtree/workload/report.h"
+
+namespace obtree {
+namespace {
+
+TEST(WorkloadSpecTest, CannedMixesSumToOne) {
+  for (const WorkloadSpec& spec :
+       {WorkloadSpec::ReadMostly(), WorkloadSpec::Mixed5050(),
+        WorkloadSpec::InsertOnly(), WorkloadSpec::DeleteHeavy(),
+        WorkloadSpec::ScanHeavy()}) {
+    EXPECT_NEAR(spec.search_pct + spec.insert_pct + spec.delete_pct +
+                    spec.scan_pct,
+                1.0, 1e-9)
+        << spec.name;
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.Describe().empty());
+  }
+}
+
+TEST(OpGeneratorTest, MixFrequenciesMatchSpec) {
+  WorkloadSpec spec = WorkloadSpec::Mixed5050();
+  spec.key_space = 1000;
+  OpGenerator gen(spec, /*seed=*/7, /*thread_id=*/0, /*num_threads=*/1);
+  int searches = 0;
+  int inserts = 0;
+  int deletes = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto op = gen.Next();
+    EXPECT_GE(op.key, 1u);
+    EXPECT_LE(op.key, 1000u);
+    switch (op.type) {
+      case OpType::kSearch: ++searches; break;
+      case OpType::kInsert: ++inserts; break;
+      case OpType::kDelete: ++deletes; break;
+      case OpType::kScan: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(searches) / kDraws, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(inserts) / kDraws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(deletes) / kDraws, 0.25, 0.02);
+}
+
+TEST(OpGeneratorTest, SequentialStreamsStrideAcrossThreads) {
+  WorkloadSpec spec = WorkloadSpec::InsertOnly();
+  spec.distribution = KeyDistribution::kSequential;
+  spec.key_space = 1 << 20;
+  std::set<Key> seen;
+  for (int t = 0; t < 4; ++t) {
+    OpGenerator gen(spec, 1, t, 4);
+    for (int i = 0; i < 1000; ++i) {
+      const auto op = gen.Next();
+      EXPECT_TRUE(seen.insert(op.key).second)
+          << "duplicate sequential key " << op.key;
+    }
+  }
+}
+
+TEST(OpGeneratorTest, ZipfianSkewsTowardsFewKeys) {
+  WorkloadSpec spec = WorkloadSpec::ReadMostly();
+  spec.distribution = KeyDistribution::kZipfian;
+  spec.key_space = 100000;
+  OpGenerator gen(spec, 3, 0, 1);
+  std::map<Key, int> freq;
+  for (int i = 0; i < 50000; ++i) freq[gen.Next().key]++;
+  // Far fewer distinct keys than draws.
+  EXPECT_LT(freq.size(), 30000u);
+  int max_freq = 0;
+  for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 100);  // a genuinely hot key exists
+}
+
+TEST(OpGeneratorTest, PreloadKeysInRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const Key k = OpGenerator::PreloadKey(i, 500);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 500u);
+  }
+}
+
+TEST(DriverTest, PreloadPopulatesTree) {
+  SagivTree tree;
+  WorkloadSpec spec = WorkloadSpec::ReadMostly();
+  spec.key_space = 10000;
+  spec.preload = 5000;
+  PreloadTree(&tree, spec, 4);
+  // Scrambled enumeration can collide; expect a large fraction inserted.
+  EXPECT_GT(tree.Size(), 3500u);
+  EXPECT_LE(tree.Size(), 5000u);
+}
+
+TEST(DriverTest, RunWorkloadCountsOps) {
+  SagivTree tree;
+  WorkloadSpec spec = WorkloadSpec::Mixed5050();
+  spec.key_space = 2000;
+  spec.preload = 1000;
+  PreloadTree(&tree, spec, 2);
+  const DriverResult result =
+      RunWorkload(&tree, spec, /*threads=*/4, /*ops_per_thread=*/5000);
+  EXPECT_EQ(result.total_ops, 20000u);
+  EXPECT_GT(result.succeeded, 0u);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.MopsPerSec(), 0.0);
+  EXPECT_EQ(result.stats.Get(StatId::kInserts) +
+                result.stats.Get(StatId::kDeletes) +
+                result.stats.Get(StatId::kSearches),
+            20000u);
+  EXPECT_FALSE(result.Summary().empty());
+}
+
+TEST(DriverTest, LatencyHistogramCollected) {
+  SagivTree tree;
+  WorkloadSpec spec = WorkloadSpec::ReadMostly();
+  spec.key_space = 1000;
+  spec.preload = 500;
+  PreloadTree(&tree, spec, 2);
+  const DriverResult result = RunWorkload(&tree, spec, 2, 2000, 1,
+                                          /*collect_latency=*/true);
+  EXPECT_EQ(result.latency_ns.count(), 4000u);
+  EXPECT_GT(result.latency_ns.Percentile(99), 0u);
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  Table table({"threads", "Mops"});
+  table.AddRow({"1", "4.20"});
+  table.AddRow({"16", "30.11"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("threads |  Mops"), std::string::npos);
+  EXPECT_NE(out.find("------- | -----"), std::string::npos);
+  EXPECT_NE(out.find("     16 | 30.11"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(FmtRatio(3.0, 2.0, 1), "1.5x");
+  EXPECT_EQ(FmtRatio(1.0, 0.0), "inf");
+}
+
+}  // namespace
+}  // namespace obtree
