@@ -35,18 +35,8 @@ class QueueCompressor;
 class ScanCompressor;
 struct TreeShape;
 
-/// How the map keeps nodes at least half full (Section 5).
-enum class CompressionMode {
-  /// No compression: deletions never restructure (the Lehman-Yao
-  /// behavior the paper improves on).
-  kNone,
-  /// One background process periodically sweeps the whole tree
-  /// (Sections 5.1-5.2).
-  kBackgroundScan,
-  /// Deletions enqueue under-full nodes; worker threads drain a shared
-  /// queue (Section 5.4, deployment (2); one worker = deployment (1)).
-  kQueueWorkers,
-};
+// CompressionMode lives in core/options.h (pulled in above) so that
+// ShardOptions can reference it without depending on the api layer.
 
 /// Construction-time configuration of a ConcurrentMap.
 struct MapOptions {
@@ -78,6 +68,11 @@ class ConcurrentMap {
 
   /// Remove a key. NotFound if absent.
   Status Erase(Key key);
+
+  /// Tree-style aliases so the workload driver (duck-typed over
+  /// Insert/Search/Delete/Scan) can target a map directly.
+  Result<Value> Search(Key key) const { return Get(key); }
+  Status Delete(Key key) { return Erase(key); }
 
   /// Insert-or-replace. Implemented as Erase+Insert; NOT atomic with
   /// respect to concurrent operations on the same key (the paper's model

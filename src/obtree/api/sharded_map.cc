@@ -1,0 +1,155 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/api/sharded_map.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obtree/core/tree_checker.h"
+
+namespace obtree {
+
+ShardedMap::ShardedMap(const ShardOptions& options) : options_(options) {
+  init_status_ = options_.Validate();
+  if (!init_status_.ok()) {
+    options_ = ShardOptions();  // degrade to a working default
+  }
+  const uint32_t n = options_.num_shards;
+  // Ceil division without overflow (key_space_hint may be near 2^64).
+  shard_width_ =
+      options_.key_space_hint / n + (options_.key_space_hint % n != 0);
+  if (shard_width_ == 0) shard_width_ = 1;
+
+  MapOptions shard_options;
+  shard_options.tree = options_.tree;
+  shard_options.compression = options_.compression;
+  shard_options.compression_threads = options_.compression_threads_per_shard;
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<ConcurrentMap>(shard_options));
+    if (init_status_.ok()) {
+      init_status_ = shards_.back()->init_status();
+    }
+  }
+}
+
+ShardedMap::~ShardedMap() = default;
+
+Status ShardedMap::Insert(Key key, Value value) {
+  return shards_[ShardIndex(key)]->Insert(key, value);
+}
+
+Result<Value> ShardedMap::Get(Key key) const {
+  return shards_[ShardIndex(key)]->Get(key);
+}
+
+Status ShardedMap::Erase(Key key) {
+  return shards_[ShardIndex(key)]->Erase(key);
+}
+
+Status ShardedMap::Upsert(Key key, Value value) {
+  return shards_[ShardIndex(key)]->Upsert(key, value);
+}
+
+size_t ShardedMap::Scan(
+    Key lo, Key hi, const std::function<bool(Key, Value)>& visitor) const {
+  if (lo < 1) lo = 1;
+  if (hi < lo) return 0;
+  const uint32_t first = ShardIndex(lo);
+  const uint32_t last = ShardIndex(std::min(hi, kMaxUserKey));
+  size_t visited = 0;
+  bool stopped = false;
+  // The partition is ordered, so visiting shards left to right delivers
+  // globally ascending keys: every key of shard s precedes every key of
+  // shard s+1.
+  for (uint32_t s = first; s <= last && !stopped; ++s) {
+    visited += shards_[s]->Scan(lo, hi, [&](Key k, Value v) {
+      if (!visitor(k, v)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+  }
+  return visited;
+}
+
+std::vector<std::pair<Key, Value>> ShardedMap::ScanLimit(
+    Key from, size_t limit) const {
+  std::vector<std::pair<Key, Value>> out;
+  if (limit == 0) return out;
+  out.reserve(limit);
+  Scan(from, kMaxUserKey, [&](Key k, Value v) {
+    out.emplace_back(k, v);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+uint64_t ShardedMap::Size() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->Size();
+  return total;
+}
+
+uint32_t ShardedMap::Height() const {
+  uint32_t tallest = 0;
+  for (const auto& s : shards_) tallest = std::max(tallest, s->Height());
+  return tallest;
+}
+
+void ShardedMap::CompressNow() {
+  for (auto& s : shards_) s->CompressNow();
+}
+
+StatsSnapshot ShardedMap::Stats() const {
+  StatsSnapshot total;
+  for (const auto& s : shards_) {
+    const StatsSnapshot snap = s->Stats();
+    for (size_t i = 0; i < total.counters.size(); ++i) {
+      total.counters[i] += snap.counters[i];
+    }
+    total.max_locks_held =
+        std::max(total.max_locks_held, snap.max_locks_held);
+  }
+  return total;
+}
+
+TreeShape ShardedMap::Shape() const {
+  TreeShape total;
+  double fill_weighted = 0.0;
+  uint64_t leaves = 0;
+  for (const auto& s : shards_) {
+    const TreeShape shape = s->Shape();
+    total.height = std::max(total.height, shape.height);
+    total.num_keys += shape.num_keys;
+    total.num_nodes += shape.num_nodes;
+    total.underfull_nodes += shape.underfull_nodes;
+    if (shape.nodes_per_level.size() > total.nodes_per_level.size()) {
+      total.nodes_per_level.resize(shape.nodes_per_level.size(), 0);
+    }
+    for (size_t i = 0; i < shape.nodes_per_level.size(); ++i) {
+      total.nodes_per_level[i] += shape.nodes_per_level[i];
+    }
+    const uint64_t shard_leaves =
+        shape.nodes_per_level.empty() ? 0 : shape.nodes_per_level[0];
+    fill_weighted += shape.avg_leaf_fill * static_cast<double>(shard_leaves);
+    leaves += shard_leaves;
+  }
+  total.avg_leaf_fill =
+      leaves > 0 ? fill_weighted / static_cast<double>(leaves) : 0.0;
+  return total;
+}
+
+Status ShardedMap::ValidateStructure() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status s = shards_[i]->ValidateStructure();
+    if (!s.ok()) {
+      return Status::Internal("shard " + std::to_string(i) + ": " +
+                              s.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obtree

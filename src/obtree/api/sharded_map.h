@@ -1,0 +1,139 @@
+// Copyright 2026 The obtree Authors.
+//
+// ShardedMap: a key-range-partitioned front-end over N independent
+// SagivTree shards. A single tree serializes contending updaters on hot
+// nodes and funnels every descent through one root; sharding splits the
+// key space into contiguous ranges, each served by its own tree with its
+// own locks, page manager, and compression deployment, so disjoint-range
+// operations never touch shared mutable state.
+//
+//   [1, W] [W+1, 2W] ... [(N-1)W+1, +inf)        W = key_space_hint / N
+//      |        |               |
+//   shard 0  shard 1  ...    shard N-1           (each a ConcurrentMap:
+//                                                 SagivTree + compressors)
+//
+// Point operations route to exactly one shard. Range scans visit only the
+// shards whose ranges intersect [lo, hi], in shard order; because the
+// partition is ordered, concatenating per-shard results yields globally
+// ascending keys without a heap merge. Stats and TreeShape aggregate
+// across shards.
+//
+//   obtree::ShardOptions options;
+//   options.num_shards = 8;
+//   options.key_space_hint = 10'000'000;   // expected key range
+//   obtree::ShardedMap map(options);
+//   map.Insert(42, handle);
+
+#ifndef OBTREE_API_SHARDED_MAP_H_
+#define OBTREE_API_SHARDED_MAP_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obtree/api/concurrent_map.h"
+#include "obtree/core/options.h"
+#include "obtree/util/common.h"
+#include "obtree/util/stats.h"
+#include "obtree/util/status.h"
+
+namespace obtree {
+
+struct TreeShape;
+
+/// Thread-safe ordered map, partitioned across independent tree shards.
+class ShardedMap {
+ public:
+  explicit ShardedMap(const ShardOptions& options = ShardOptions());
+  ~ShardedMap();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(ShardedMap);
+
+  /// Construction status (InvalidArgument if options were rejected; the
+  /// map then degrades to the default ShardOptions topology).
+  const Status& init_status() const { return init_status_; }
+
+  /// Insert a new key. AlreadyExists if present.
+  Status Insert(Key key, Value value);
+
+  /// Point lookup. Lock-free within the owning shard.
+  Result<Value> Get(Key key) const;
+
+  /// Remove a key. NotFound if absent.
+  Status Erase(Key key);
+
+  /// Insert-or-replace (per-shard; same atomicity caveats as
+  /// ConcurrentMap::Upsert).
+  Status Upsert(Key key, Value value);
+
+  /// Tree-style aliases for the duck-typed workload driver.
+  Result<Value> Search(Key key) const { return Get(key); }
+  Status Delete(Key key) { return Erase(key); }
+
+  /// Visit pairs with lo <= key <= hi in globally ascending order,
+  /// traversing only the shards whose ranges intersect [lo, hi]. The
+  /// visitor returns false to stop. Returns pairs visited.
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, Value)>& visitor) const;
+
+  /// Collect up to `limit` pairs starting at `from` (pagination helper).
+  std::vector<std::pair<Key, Value>> ScanLimit(Key from, size_t limit) const;
+
+  /// Total keys across shards.
+  uint64_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  /// Tallest shard height (levels).
+  uint32_t Height() const;
+
+  /// Run every shard's compression to a fixpoint (blocks the caller).
+  void CompressNow();
+
+  /// Operation counters summed across shards; max_locks_held is the max.
+  StatsSnapshot Stats() const;
+
+  /// Structural statistics aggregated across shards: heights max,
+  /// node/key counts sum, per-level node counts sum element-wise,
+  /// avg_leaf_fill weighted by each shard's leaf count.
+  TreeShape Shape() const;
+
+  /// Full structural validation of every shard (quiescent only). Returns
+  /// the first shard failure, annotated with the shard index.
+  Status ValidateStructure() const;
+
+  // --- sharding introspection (tests, benches, rebalancing tools) --------
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// The shard whose range contains `key`.
+  uint32_t ShardIndex(Key key) const {
+    const uint64_t idx = (key - 1) / shard_width_;
+    const uint64_t last = shards_.size() - 1;
+    return static_cast<uint32_t>(idx < last ? idx : last);
+  }
+
+  /// Smallest key routed to `shard` (its range is
+  /// [ShardLowerBound(s), ShardLowerBound(s+1) - 1], unbounded above for
+  /// the last shard).
+  Key ShardLowerBound(uint32_t shard) const {
+    return static_cast<Key>(shard) * shard_width_ + 1;
+  }
+
+  /// Direct access to one shard's map / tree (benchmarks, validation).
+  ConcurrentMap* shard(uint32_t i) { return shards_[i].get(); }
+  const ConcurrentMap* shard(uint32_t i) const { return shards_[i].get(); }
+
+  const ShardOptions& options() const { return options_; }
+
+ private:
+  ShardOptions options_;
+  Status init_status_;
+  uint64_t shard_width_;  ///< keys per shard range (ceil division)
+  std::vector<std::unique_ptr<ConcurrentMap>> shards_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_API_SHARDED_MAP_H_

@@ -12,6 +12,19 @@
 
 namespace obtree {
 
+/// How a map keeps nodes at least half full (Section 5).
+enum class CompressionMode {
+  /// No compression: deletions never restructure (the Lehman-Yao
+  /// behavior the paper improves on).
+  kNone,
+  /// One background process periodically sweeps the whole tree
+  /// (Sections 5.1-5.2).
+  kBackgroundScan,
+  /// Deletions enqueue under-full nodes; worker threads drain a shared
+  /// queue (Section 5.4, deployment (2); one worker = deployment (1)).
+  kQueueWorkers,
+};
+
 /// Configuration of a tree instance.
 struct TreeOptions {
   /// The paper's k: every node (except the root) holds between k and 2k
@@ -57,6 +70,50 @@ struct TreeOptions {
       return Status::InvalidArgument("max_restarts must be positive");
     }
     return Status::OK();
+  }
+};
+
+/// Configuration of a ShardedMap: a key-range-partitioned front-end over
+/// `num_shards` independent trees (see api/sharded_map.h).
+struct ShardOptions {
+  /// Tunables applied to every shard's tree.
+  TreeOptions tree;
+
+  /// Number of key-space partitions. Must be a power of two in
+  /// [1, kMaxShards]; each shard is an independent SagivTree with its own
+  /// locks, pager, and compression deployment.
+  uint32_t num_shards = 4;
+
+  /// Upper bound of the expected user key range. The key space
+  /// [1, key_space_hint] is split into num_shards equal contiguous
+  /// ranges; keys above the hint route to the last shard (correct but
+  /// unbalanced), so size the hint to the workload's key space.
+  Key key_space_hint = 1u << 20;
+
+  /// Compression deployment replicated per shard.
+  CompressionMode compression = CompressionMode::kQueueWorkers;
+
+  /// Background compression workers per shard (>= 1; ignored for kNone).
+  int compression_threads_per_shard = 1;
+
+  static constexpr uint32_t kMaxShards = 1u << 10;
+
+  /// Validate option values (shard count and hint; TreeOptions are
+  /// validated by each shard's tree).
+  Status Validate() const {
+    if (num_shards < 1 || num_shards > kMaxShards ||
+        (num_shards & (num_shards - 1)) != 0) {
+      return Status::InvalidArgument(
+          "num_shards must be a power of two in [1, kMaxShards]");
+    }
+    if (key_space_hint < num_shards) {
+      return Status::InvalidArgument("key_space_hint smaller than shards");
+    }
+    if (compression_threads_per_shard < 1) {
+      return Status::InvalidArgument(
+          "compression_threads_per_shard must be positive");
+    }
+    return tree.Validate();
   }
 };
 

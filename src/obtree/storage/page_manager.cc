@@ -18,14 +18,15 @@ namespace {
 thread_local int tl_locks_held = 0;
 
 // Word-granular copy. The seqlock retry loop discards torn reads; copying
-// through atomic_ref keeps the concurrent access well-defined.
+// through relaxed word-sized atomic accesses keeps the concurrent access
+// well-defined. C++17 has no std::atomic_ref, so we use the __atomic
+// builtins both supported compilers (GCC, Clang) provide.
 void AtomicCopyOut(const uint8_t* src, uint8_t* dst, size_t bytes) {
   const auto* s = reinterpret_cast<const uint64_t*>(src);
   auto* d = reinterpret_cast<uint64_t*>(dst);
   const size_t words = bytes / 8;
   for (size_t i = 0; i < words; ++i) {
-    d[i] = std::atomic_ref<const uint64_t>(s[i]).load(
-        std::memory_order_relaxed);
+    d[i] = __atomic_load_n(&s[i], __ATOMIC_RELAXED);
   }
 }
 
@@ -34,7 +35,7 @@ void AtomicCopyIn(const uint8_t* src, uint8_t* dst, size_t bytes) {
   auto* d = reinterpret_cast<uint64_t*>(dst);
   const size_t words = bytes / 8;
   for (size_t i = 0; i < words; ++i) {
-    std::atomic_ref<uint64_t>(d[i]).store(s[i], std::memory_order_relaxed);
+    __atomic_store_n(&d[i], s[i], __ATOMIC_RELAXED);
   }
 }
 

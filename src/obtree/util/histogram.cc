@@ -3,7 +3,6 @@
 #include "obtree/util/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
 #include <limits>
 
@@ -21,7 +20,8 @@ void Histogram::Reset() {
 
 int Histogram::BucketFor(uint64_t value) {
   if (value < (1u << kSubBucketsLog2)) return static_cast<int>(value);
-  const int msb = 63 - std::countl_zero(value);
+  // C++17 has no std::countl_zero; use the builtin (value > 0 here).
+  const int msb = 63 - __builtin_clzll(value);
   const int shift = msb - kSubBucketsLog2;
   const int sub = static_cast<int>((value >> shift) & ((1 << kSubBucketsLog2) - 1));
   int bucket = ((msb - kSubBucketsLog2 + 1) << kSubBucketsLog2) + sub;

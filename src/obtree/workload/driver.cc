@@ -7,9 +7,10 @@
 namespace obtree {
 
 std::string DriverResult::Summary() const {
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "threads=%d ops=%llu ok=%llu %.3fs %.2f Mops/s", threads,
+                "%s%sthreads=%d ops=%llu ok=%llu %.3fs %.2f Mops/s",
+                label.c_str(), label.empty() ? "" : " ", threads,
                 static_cast<unsigned long long>(total_ops),
                 static_cast<unsigned long long>(succeeded), seconds,
                 MopsPerSec());

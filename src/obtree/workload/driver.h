@@ -1,9 +1,15 @@
 // Copyright 2026 The obtree Authors.
 //
-// Multi-threaded workload driver, templated over the tree implementation
-// (SagivTree and the three baselines expose the same duck-typed surface:
-// Insert/Search/Delete/Scan/Size/stats). Used by the benchmark binaries
-// and the examples.
+// Multi-threaded workload driver, templated over the target
+// implementation. Two duck-typed surfaces are accepted:
+//
+//   * trees (SagivTree and the three baselines):
+//     Insert/Search/Delete/Scan/Size and a `stats()` StatsCollector;
+//   * map front-ends (ShardedMap, ConcurrentMap) — the sharded-target
+//     mode: same operations plus a `Stats()` aggregate snapshot instead
+//     of a single collector.
+//
+// Used by the benchmark binaries and the examples.
 
 #ifndef OBTREE_WORKLOAD_DRIVER_H_
 #define OBTREE_WORKLOAD_DRIVER_H_
@@ -11,6 +17,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "obtree/util/histogram.h"
@@ -19,12 +26,34 @@
 
 namespace obtree {
 
+/// Counter access shim: prefers an aggregate `Stats()` (ShardedMap sums
+/// its shards there) and falls back to the tree's `stats()` collector.
+template <typename Tree, typename = void>
+struct DriverStatsAccess {
+  static StatsSnapshot Snapshot(const Tree* tree) {
+    return tree->stats()->Snapshot();
+  }
+  static uint64_t MaxLocksHeld(const Tree* tree) {
+    return tree->stats()->max_locks_held();
+  }
+};
+
+template <typename Tree>
+struct DriverStatsAccess<
+    Tree, std::void_t<decltype(std::declval<const Tree&>().Stats())>> {
+  static StatsSnapshot Snapshot(const Tree* tree) { return tree->Stats(); }
+  static uint64_t MaxLocksHeld(const Tree* tree) {
+    return tree->Stats().max_locks_held;
+  }
+};
+
 /// Aggregate outcome of one driver run.
 struct DriverResult {
   uint64_t total_ops = 0;
   uint64_t succeeded = 0;   ///< ops returning OK / value found
   double seconds = 0.0;
   int threads = 0;
+  std::string label;        ///< workload name (spec.name), set by RunWorkload
 
   Histogram latency_ns;     ///< merged per-op latency (if collected)
   StatsSnapshot stats;      ///< tree counter deltas over the run
@@ -67,7 +96,8 @@ DriverResult RunWorkload(Tree* tree, const WorkloadSpec& spec, int threads,
   using Clock = std::chrono::steady_clock;
   DriverResult result;
   result.threads = threads;
-  const StatsSnapshot before = tree->stats()->Snapshot();
+  result.label = spec.name;
+  const StatsSnapshot before = DriverStatsAccess<Tree>::Snapshot(tree);
 
   std::vector<Histogram> histograms(static_cast<size_t>(threads));
   std::vector<uint64_t> succeeded(static_cast<size_t>(threads), 0);
@@ -122,8 +152,8 @@ DriverResult RunWorkload(Tree* tree, const WorkloadSpec& spec, int threads,
     result.latency_ns.Merge(histograms[static_cast<size_t>(t)]);
     result.succeeded += succeeded[static_cast<size_t>(t)];
   }
-  result.stats = tree->stats()->Snapshot().Delta(before);
-  result.stats.max_locks_held = tree->stats()->max_locks_held();
+  result.stats = DriverStatsAccess<Tree>::Snapshot(tree).Delta(before);
+  result.stats.max_locks_held = DriverStatsAccess<Tree>::MaxLocksHeld(tree);
   return result;
 }
 

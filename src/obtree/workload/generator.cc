@@ -58,11 +58,23 @@ WorkloadSpec WorkloadSpec::ScanHeavy() {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::ShardHotSpot(uint32_t num_shards) {
+  WorkloadSpec s = Mixed5050();
+  s.distribution = KeyDistribution::kHotSpot;
+  s.hot_op_fraction = 0.9;
+  s.hot_key_fraction = 1.0 / static_cast<double>(num_shards < 1 ? 1
+                                                                : num_shards);
+  s.name = "shard-hotspot(50/25/25,hot=1/" + std::to_string(num_shards) +
+           ")";
+  return s;
+}
+
 std::string WorkloadSpec::Describe() const {
   char buf[192];
   const char* dist = distribution == KeyDistribution::kUniform ? "uniform"
-                     : distribution == KeyDistribution::kZipfian
-                         ? "zipf"
+                     : distribution == KeyDistribution::kZipfian ? "zipf"
+                     : distribution == KeyDistribution::kHotSpot
+                         ? "hotspot"
                          : "sequential";
   std::snprintf(buf, sizeof(buf),
                 "%s dist=%s keyspace=%llu preload=%llu",
@@ -105,6 +117,15 @@ Key OpGenerator::DrawKey() {
       const uint64_t i = seq_next_;
       seq_next_ += seq_stride_;
       return (i - 1) % kMaxUserKey + 1;
+    }
+    case KeyDistribution::kHotSpot: {
+      Key hot_keys = static_cast<Key>(
+          spec_.hot_key_fraction * static_cast<double>(spec_.key_space));
+      if (hot_keys < 1) hot_keys = 1;
+      if (hot_keys > spec_.key_space) hot_keys = spec_.key_space;
+      return rng_.NextDouble() < spec_.hot_op_fraction
+                 ? rng_.UniformRange(1, hot_keys)
+                 : rng_.UniformRange(1, spec_.key_space);
     }
   }
   return 1;

@@ -24,6 +24,11 @@ enum class KeyDistribution {
   kUniform,     ///< uniform over [1, key_space]
   kZipfian,     ///< Zipf-skewed ranks scrambled over the key space
   kSequential,  ///< monotonically increasing (append workloads)
+  kHotSpot,     ///< hot_op_fraction of ops hit the range
+                ///< [1, hot_key_fraction * key_space]; the rest are
+                ///< uniform. With hot_key_fraction = 1/num_shards this is
+                ///< the shard-hot-spot adversary for ShardedMap: the hot
+                ///< range is exactly one shard's partition.
 };
 
 /// Declarative description of a workload phase.
@@ -39,12 +44,22 @@ struct WorkloadSpec {
   double zipf_theta = 0.99;
   size_t scan_length = 100;         ///< pairs visited per kScan op
 
+  /// kHotSpot tunables: fraction of operations aimed at the hot range and
+  /// the hot range's size as a fraction of the key space.
+  double hot_op_fraction = 0.9;
+  double hot_key_fraction = 0.125;
+
   /// Canned mixes used across the experiment suite.
   static WorkloadSpec ReadMostly();   // 95/2.5/2.5
   static WorkloadSpec Mixed5050();    // 50 search / 25 insert / 25 delete
   static WorkloadSpec InsertOnly();
   static WorkloadSpec DeleteHeavy();  // 20 search / 20 insert / 60 delete
   static WorkloadSpec ScanHeavy();    // 50 search / 30 scan / 10 / 10
+
+  /// Mixed5050 aimed at one shard of `num_shards`: 90% of ops land on the
+  /// first 1/num_shards of the key space (the worst case for range
+  /// partitioning — one shard serves almost all traffic).
+  static WorkloadSpec ShardHotSpot(uint32_t num_shards);
 
   std::string name;  ///< label used in reports
 

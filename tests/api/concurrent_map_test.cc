@@ -116,7 +116,9 @@ TEST(ConcurrentMapTest, ConcurrentMixedWithBackgroundWorkers) {
           (void)map.Erase(k);
         } else {
           Result<Value> r = map.Get(k);
-          if (r.ok()) ASSERT_EQ(*r, k);
+          if (r.ok()) {
+            ASSERT_EQ(*r, k);
+          }
         }
       }
     });

@@ -98,7 +98,9 @@ TYPED_TEST(TreeInterfaceTest, RandomWorkloadMatchesReference) {
       auto it = reference.find(k);
       Result<Value> r = tree.Search(k);
       EXPECT_EQ(r.ok(), it != reference.end());
-      if (r.ok()) EXPECT_EQ(*r, it->second);
+      if (r.ok()) {
+        EXPECT_EQ(*r, it->second);
+      }
     }
   }
   EXPECT_EQ(tree.Size(), reference.size());
@@ -161,7 +163,9 @@ TYPED_TEST(TreeInterfaceTest, ConcurrentMixedOps) {
           (void)tree.Delete(k);
         } else {
           Result<Value> r = tree.Search(k);
-          if (r.ok()) ASSERT_EQ(*r, k);
+          if (r.ok()) {
+            ASSERT_EQ(*r, k);
+          }
         }
       }
     });

@@ -149,7 +149,9 @@ TEST(QueueCompressorTest, DrainRestoresHalfFullInvariant) {
   constexpr Key kN = 2000;
   for (Key k = 1; k <= kN; ++k) ASSERT_TRUE(s.tree->Insert(k, k * 7).ok());
   for (Key k = 1; k <= kN; ++k) {
-    if (k % 8 != 0) ASSERT_TRUE(s.tree->Delete(k).ok());
+    if (k % 8 != 0) {
+      ASSERT_TRUE(s.tree->Delete(k).ok());
+    }
   }
   QueueCompressor compressor(s.tree.get(), s.queue.get());
   const size_t work = compressor.Drain();

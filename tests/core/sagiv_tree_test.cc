@@ -181,7 +181,9 @@ TEST(SagivTreeTest, MixedWorkloadMatchesReference) {
       auto it = reference.find(k);
       Result<Value> r = tree.Search(k);
       EXPECT_EQ(r.ok(), it != reference.end());
-      if (r.ok()) EXPECT_EQ(*r, it->second);
+      if (r.ok()) {
+        EXPECT_EQ(*r, it->second);
+      }
     }
   }
   EXPECT_EQ(tree.Size(), reference.size());

@@ -58,7 +58,9 @@ TEST(ScanCompressorTest, MergesAfterHeavyDeletes) {
   for (Key k = 1; k <= kN; ++k) ASSERT_TRUE(tree.Insert(k, k * 3).ok());
   // Delete 90%: keep every 10th key.
   for (Key k = 1; k <= kN; ++k) {
-    if (k % 10 != 0) ASSERT_TRUE(tree.Delete(k).ok());
+    if (k % 10 != 0) {
+      ASSERT_TRUE(tree.Delete(k).ok());
+    }
   }
   const TreeShape before = TreeChecker(&tree).ComputeShape();
   CompressToFixpoint(&tree);

@@ -145,7 +145,9 @@ TEST(ConcurrentMixedTest, InsertDeleteSearchStress) {
           (void)tree.Delete(k);
         } else {
           Result<Value> r = tree.Search(k);
-          if (r.ok()) ASSERT_EQ(*r, k);
+          if (r.ok()) {
+            ASSERT_EQ(*r, k);
+          }
         }
       }
     });
@@ -185,7 +187,9 @@ TEST(ConcurrentCompressionTest, ScanCompressorRunsAlongsideUpdaters) {
           (void)tree.Delete(k);  // delete-heavy: feed the compressor
         } else {
           Result<Value> r = tree.Search(k);
-          if (r.ok()) ASSERT_EQ(*r, k * 5);
+          if (r.ok()) {
+            ASSERT_EQ(*r, k * 5);
+          }
         }
       }
     });
@@ -239,7 +243,9 @@ TEST(ConcurrentCompressionTest, MultipleQueueCompressorsSharedQueue) {
           (void)tree.Delete(k);
         } else {
           Result<Value> r = tree.Search(k);
-          if (r.ok()) ASSERT_EQ(*r, k);
+          if (r.ok()) {
+            ASSERT_EQ(*r, k);
+          }
         }
       }
     });

@@ -193,7 +193,9 @@ TEST_P(SeedSweep, FuzzAgainstReferenceWithCompression) {
       auto it = reference.find(k);
       Result<Value> r = tree.Search(k);
       ASSERT_EQ(r.ok(), it != reference.end()) << k;
-      if (r.ok()) ASSERT_EQ(*r, it->second);
+      if (r.ok()) {
+        ASSERT_EQ(*r, it->second);
+      }
     } else {
       compressor.Drain();
     }
