@@ -122,6 +122,34 @@ void BM_PageGet(benchmark::State& state) {
 }
 BENCHMARK(BM_PageGet);
 
+// The tentpole comparison at node granularity: one copy-read (BM_PageGet
+// moves 4 KB) vs one optimistic in-place probe (header + binary search +
+// version validation, no bytes moved).
+void BM_PageOptimisticProbe(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  Node* n = w.As<Node>();
+  n->Init(0, 0, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < 254; ++i) {
+    n->entries[i] = Entry{static_cast<Key>(i) * 10 + 10, i};
+  }
+  n->count = 254;
+  pm.Put(id, w);
+  Random rng(4);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(2560) + 1;
+    const PageManager::ReadGuard g = pm.OptimisticRead(id);
+    const NodeView view(g.page()->As<Node>());
+    std::optional<Value> v = view.FindLeafValue(k);
+    if (!g.Validate()) continue;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PageOptimisticProbe);
+
 void BM_PagePut(benchmark::State& state) {
   EpochManager epoch;
   StatsCollector stats;

@@ -6,9 +6,21 @@
 // hand-off) and out-scale lock-coupling and a global lock decisively,
 // with the gap widening with thread count and write share.
 //
-// Rows: thread counts. Columns: Mops/s per tree. One table per mix.
+// E2c — copy-reads vs optimistic in-place reads on the Sagiv tree: the
+// same read-mostly workload with the descent copying 4 KB per node
+// visited (optimistic_reads = false) against the version-validated
+// in-place read path (the default). This is the PR 2 tentpole measured,
+// not asserted.
+//
+// Rows: thread counts. Columns: Kops/s per tree. One table per mix.
+//
+// Flags: --quick shrinks every cell ~10x (CI smoke). Every cell is also
+// recorded to BENCH_throughput.json (ops/s per config) so CI can archive
+// the numbers as the repo's perf trajectory.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "obtree/baseline/coarse_tree.h"
@@ -20,6 +32,51 @@
 
 namespace obtree {
 namespace {
+
+// ---------------------------------------------------------------- JSON out
+
+struct JsonSample {
+  std::string config;
+  int threads;
+  double kops;
+};
+
+std::vector<JsonSample>& Samples() {
+  static std::vector<JsonSample> samples;
+  return samples;
+}
+
+void Record(const std::string& config, int threads, double kops) {
+  Samples().push_back(JsonSample{config, threads, kops});
+}
+
+void WriteJson(const char* path, bool quick, double read_path_speedup_1t) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"read_path_speedup_1t\": %.3f,\n",
+               read_path_speedup_1t);
+  std::fprintf(f, "  \"configs\": [\n");
+  const std::vector<JsonSample>& samples = Samples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"threads\": %d, "
+                 "\"ops_per_sec\": %.0f}%s\n",
+                 samples[i].config.c_str(), samples[i].threads,
+                 samples[i].kops * 1000.0,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu configs)\n", path, samples.size());
+}
+
+// ------------------------------------------------------------- E2a / E2b
 
 template <typename Tree>
 double Kops(const WorkloadSpec& spec, int threads, uint64_t ops_per_thread,
@@ -52,13 +109,14 @@ double Kops<CoarseTree>(const WorkloadSpec& spec, int threads,
 }
 
 void RunMix(WorkloadSpec spec, const std::vector<int>& thread_counts,
-            uint64_t io_ns, uint64_t ops_per_thread) {
-  spec.key_space = 400'000;
-  spec.preload = spec.insert_pct >= 0.999 ? 0 : 200'000;
+            uint64_t io_ns, uint64_t ops_per_thread, Key key_space) {
+  spec.key_space = key_space;
+  spec.preload = spec.insert_pct >= 0.999 ? 0 : key_space / 2;
   std::printf("workload: %s, %llu ops/thread, io=%lluus/page\n",
               spec.Describe().c_str(),
               static_cast<unsigned long long>(ops_per_thread),
               static_cast<unsigned long long>(io_ns / 1000));
+  const std::string io_tag = io_ns > 0 ? "+io" : "";
   Table table({"threads", "sagiv", "lehman-yao", "lock-coupling",
                "global-lock", "sagiv/global"});
   for (int threads : thread_counts) {
@@ -70,6 +128,10 @@ void RunMix(WorkloadSpec spec, const std::vector<int>& thread_counts,
         Kops<LockCouplingTree>(spec, threads, ops_per_thread, io_ns);
     const double coarse =
         Kops<CoarseTree>(spec, threads, ops_per_thread, io_ns);
+    Record(spec.name + io_tag + "/sagiv", threads, sagiv);
+    Record(spec.name + io_tag + "/lehman-yao", threads, ly);
+    Record(spec.name + io_tag + "/lock-coupling", threads, coupling);
+    Record(spec.name + io_tag + "/global-lock", threads, coarse);
     table.AddRow({Fmt(static_cast<uint64_t>(threads)), Fmt(sagiv), Fmt(ly),
                   Fmt(coupling), Fmt(coarse), FmtRatio(sagiv, coarse)});
   }
@@ -77,11 +139,77 @@ void RunMix(WorkloadSpec spec, const std::vector<int>& thread_counts,
   std::printf("(cells are Kops/s; higher is better)\n\n");
 }
 
+// ------------------------------------------------------------------- E2c
+
+WorkloadSpec ReadPathSpec(Key key_space) {
+  WorkloadSpec spec = WorkloadSpec::ReadMostly();
+  spec.key_space = key_space;
+  spec.preload = key_space / 2;
+  return spec;
+}
+
+DriverResult ReadPathRun(bool optimistic, int threads,
+                         uint64_t ops_per_thread, Key key_space) {
+  TreeOptions options;
+  options.min_entries = 32;
+  options.optimistic_reads = optimistic;
+  SagivTree tree(options);
+  const WorkloadSpec spec = ReadPathSpec(key_space);
+  PreloadTree(&tree, spec, 4);
+  return RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/7);
+}
+
+double RunReadPathComparison(bool quick) {
+  PrintBanner(
+      "E2c: copy-reads vs optimistic in-place reads, Sagiv tree",
+      "the copy path moves 4 KB per node visited (>= 12 KB per point "
+      "lookup on a height-3 tree); the optimistic path reads the header "
+      "and one binary-search slot in place and validates the page version "
+      "instead. Same workload, same tree — the opt/copy column is the "
+      "read-path win; retries/op shows validation pressure");
+  const Key key_space = 200'000;
+  const uint64_t ops = quick ? 30'000 : 200'000;
+  const std::string workload = ReadPathSpec(key_space).name;
+  std::printf("workload: %s, %llu ops/thread, %llu preloaded keys\n",
+              workload.c_str(), static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(key_space / 2));
+  Table table({"threads", "copy", "optimistic", "opt/copy", "retries/op",
+               "fallbacks"});
+  double speedup_1t = 0.0;
+  for (int threads : {1, 2, 4}) {
+    const DriverResult copy = ReadPathRun(false, threads, ops, key_space);
+    const DriverResult opt = ReadPathRun(true, threads, ops, key_space);
+    const double copy_kops = copy.MopsPerSec() * 1000.0;
+    const double opt_kops = opt.MopsPerSec() * 1000.0;
+    Record(workload + "/copy", threads, copy_kops);
+    Record(workload + "/optimistic", threads, opt_kops);
+    if (threads == 1 && copy_kops > 0) speedup_1t = opt_kops / copy_kops;
+    const double retries_per_op =
+        static_cast<double>(opt.stats.Get(StatId::kOptimisticRetries)) /
+        static_cast<double>(opt.total_ops);
+    table.AddRow({Fmt(static_cast<uint64_t>(threads)), Fmt(copy_kops),
+                  Fmt(opt_kops), FmtRatio(opt_kops, copy_kops),
+                  Fmt(retries_per_op, 4),
+                  Fmt(opt.stats.Get(StatId::kOptimisticFallbacks))});
+  }
+  table.Print();
+  std::printf("(cells are Kops/s; higher is better)\n\n");
+  return speedup_1t;
+}
+
 }  // namespace
 }  // namespace obtree
 
-int main() {
+int main(int argc, char** argv) {
   using namespace obtree;
+  // --quick: ~10x fewer ops per cell (CI smoke / slow hosts).
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const uint64_t mem_ops = quick ? 12'000 : 150'000;
+  const uint64_t io_ops = quick ? 200 : 2'000;
+  const Key key_space = quick ? 40'000 : 400'000;
+
+  const double speedup_1t = RunReadPathComparison(quick);
+
   PrintBanner(
       "E2a: throughput, in-memory regime (io=0)",
       "on a few-core host all protocols are CPU/memory bound; differences "
@@ -89,9 +217,9 @@ int main() {
       "disk-resident regime the paper targets");
 
   const std::vector<int> threads{1, 2, 4, 8};
-  RunMix(WorkloadSpec::ReadMostly(), threads, 0, 150'000);
-  RunMix(WorkloadSpec::Mixed5050(), threads, 0, 150'000);
-  RunMix(WorkloadSpec::InsertOnly(), threads, 0, 150'000);
+  RunMix(WorkloadSpec::ReadMostly(), threads, 0, mem_ops, key_space);
+  RunMix(WorkloadSpec::Mixed5050(), threads, 0, mem_ops, key_space);
+  RunMix(WorkloadSpec::InsertOnly(), threads, 0, mem_ops, key_space);
 
   PrintBanner(
       "E2b: throughput, disk-resident regime (simulated 20us/page I/O)",
@@ -103,14 +231,16 @@ int main() {
 
   const uint64_t io_ns = 20'000;
   const std::vector<int> io_threads{1, 2, 4, 8, 16};
-  RunMix(WorkloadSpec::ReadMostly(), io_threads, io_ns, 2'000);
-  RunMix(WorkloadSpec::Mixed5050(), io_threads, io_ns, 2'000);
-  RunMix(WorkloadSpec::InsertOnly(), io_threads, io_ns, 2'000);
+  RunMix(WorkloadSpec::ReadMostly(), io_threads, io_ns, io_ops, key_space);
+  RunMix(WorkloadSpec::Mixed5050(), io_threads, io_ns, io_ops, key_space);
+  RunMix(WorkloadSpec::InsertOnly(), io_threads, io_ns, io_ops, key_space);
 
   WorkloadSpec zipf = WorkloadSpec::Mixed5050();
   zipf.distribution = KeyDistribution::kZipfian;
   zipf.zipf_theta = 0.99;
   zipf.name = "mixed-zipf(50/25/25,theta=.99)";
-  RunMix(zipf, io_threads, io_ns, 2'000);
+  RunMix(zipf, io_threads, io_ns, io_ops, key_space);
+
+  WriteJson("BENCH_throughput.json", quick, speedup_1t);
   return 0;
 }

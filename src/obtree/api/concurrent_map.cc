@@ -83,7 +83,9 @@ std::vector<std::pair<Key, Value>> ConcurrentMap::ScanLimit(
     Key from, size_t limit) const {
   std::vector<std::pair<Key, Value>> out;
   if (limit == 0) return out;
-  out.reserve(limit);
+  // One up-front reservation, capped so a huge limit over a sparse range
+  // cannot allocate unbounded memory before the scan even starts.
+  out.reserve(std::min<size_t>(limit, 4096));
   tree_->Scan(from, kMaxUserKey, [&](Key k, Value v) {
     out.emplace_back(k, v);
     return out.size() < limit;

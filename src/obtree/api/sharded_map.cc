@@ -78,7 +78,7 @@ std::vector<std::pair<Key, Value>> ShardedMap::ScanLimit(
     Key from, size_t limit) const {
   std::vector<std::pair<Key, Value>> out;
   if (limit == 0) return out;
-  out.reserve(limit);
+  out.reserve(std::min<size_t>(limit, 4096));
   Scan(from, kMaxUserKey, [&](Key k, Value v) {
     out.emplace_back(k, v);
     return out.size() < limit;

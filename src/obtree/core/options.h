@@ -50,6 +50,21 @@ struct TreeOptions {
   /// draining the queue for space to be recovered.
   bool enqueue_underfull_on_delete = false;
 
+  /// When true (default), the unlocked read descents — Search, Scan, and
+  /// the route-finding descent shared with updaters — read node headers
+  /// and the one binary-search slot they need directly from the live page
+  /// under seqlock version validation, instead of copying the full 4 KB
+  /// page per node visited. Writers, the structural checker, and the
+  /// compressors keep copy semantics regardless.
+  bool optimistic_reads = true;
+
+  /// Validation-failure budget of the optimistic read path, per logical
+  /// operation: after this many discarded in-place reads (concurrent puts
+  /// kept moving the page version) the operation falls back to copy-reads
+  /// for its remainder (counted as StatId::kOptimisticFallbacks). Bounds
+  /// tail latency when a node is rewritten continuously.
+  int optimistic_retry_limit = 8;
+
   /// Simulated block-device latency per page get/put, in nanoseconds
   /// (0 = pure in-memory). The paper's nodes live on secondary storage;
   /// enabling this reproduces the I/O-bound regime its concurrency
@@ -68,6 +83,9 @@ struct TreeOptions {
     }
     if (max_restarts < 1) {
       return Status::InvalidArgument("max_restarts must be positive");
+    }
+    if (optimistic_retry_limit < 1) {
+      return Status::InvalidArgument("optimistic_retry_limit must be positive");
     }
     return Status::OK();
   }

@@ -16,6 +16,95 @@ namespace {
 // instead of a hang.
 constexpr int kMaxStepsPerAttempt = 1 << 22;
 
+// Where an unlocked descent proceeds from one node, as decided from an
+// optimistic (unvalidated) in-place image. kTorn marks an image too
+// inconsistent to classify (e.g. ChildFor fell off the entries): the
+// reader re-reads the node instead of acting. It is also the default so
+// an unstable guard (put in flight) takes the same re-read path.
+struct Route {
+  enum Kind {
+    kArrived,               // node is the live target: level + range match
+    kChild,                 // descend into `next`
+    kLink,                  // moveright through `next`
+    kMerge,                 // deleted node: recover through merge pointer
+    kRestartStale,          // wrong node (level/low): restart from the root
+    kRestartRightmost,      // nil link but key > high: restart
+    kRestartNoMergeTarget,  // deleted, merge pointer not posted: restart
+    kTorn,                  // image inconsistent: re-read this node
+  } kind = kTorn;
+  PageId next = kInvalidPageId;
+};
+
+// The paper's next(A, v) evaluated on a possibly-torn image. Reads only
+// header words (plus one binary search for the child case) and never
+// chases a pointer itself; the caller validates the page version before
+// following `next` anywhere.
+Route RouteForKey(const NodeView& view, Key key, uint32_t target_level) {
+  Route r;
+  if (view.is_deleted()) {
+    const PageId target = view.merge_target();
+    if (target == kInvalidPageId) {
+      r.kind = Route::kRestartNoMergeTarget;
+    } else {
+      r.kind = Route::kMerge;
+      r.next = target;
+    }
+    return r;
+  }
+  if (view.level() < target_level || key <= view.low()) {
+    r.kind = Route::kRestartStale;
+    return r;
+  }
+  if (key > view.high()) {
+    const PageId link = view.link();
+    if (link == kInvalidPageId) {
+      r.kind = Route::kRestartRightmost;
+    } else {
+      r.kind = Route::kLink;
+      r.next = link;
+    }
+    return r;
+  }
+  if (view.level() == target_level) {
+    r.kind = Route::kArrived;
+    return r;
+  }
+  const PageId child = view.ChildFor(key);
+  if (child == kInvalidPageId) {
+    r.kind = Route::kTorn;  // count ran out mid-rewrite
+    return r;
+  }
+  r.kind = Route::kChild;
+  r.next = child;
+  return r;
+}
+
+// Per-thread scratch shared by the read paths: the optimistic scan's
+// harvest buffer and the copy fallback's page image. One instance per
+// thread instead of per call; the in_use flag hands reentrant calls (a
+// visitor that scans the same tree) a local buffer instead.
+struct TlReadBuffers {
+  Page page;
+  std::vector<Entry> entries;
+  bool in_use = false;
+};
+thread_local TlReadBuffers tl_read_buffers;
+
+// Claims the thread-local buffers for the current call if free.
+class TlReadBuffersLease {
+ public:
+  TlReadBuffersLease() : claimed_(!tl_read_buffers.in_use) {
+    if (claimed_) tl_read_buffers.in_use = true;
+  }
+  ~TlReadBuffersLease() {
+    if (claimed_) tl_read_buffers.in_use = false;
+  }
+  bool claimed() const { return claimed_; }
+
+ private:
+  bool claimed_;
+};
+
 }  // namespace
 
 SagivTree::SagivTree(const TreeOptions& options)
@@ -55,9 +144,123 @@ void SagivTree::AttachCompressionQueue(CompressionQueue* queue) {
 // Descending
 // ---------------------------------------------------------------------------
 
+void SagivTree::CountRestart(RestartCause cause) const {
+  stats_->Add(StatId::kRestarts);
+  switch (cause) {
+    case RestartCause::kStaleNode:
+      stats_->Add(StatId::kRestartsStaleNode);
+      break;
+    case RestartCause::kRightmostStale:
+      stats_->Add(StatId::kRestartsRightmostStale);
+      break;
+    case RestartCause::kMissingMergeTarget:
+      stats_->Add(StatId::kRestartsMissingMergeTarget);
+      break;
+    case RestartCause::kNone:
+      break;
+  }
+}
+
 Result<PageId> SagivTree::internal_FindNodeAtLevel(
     Key key, uint32_t level, std::vector<PageId>* stack_out,
     bool wait_for_level) const {
+  if (options_.optimistic_reads) {
+    int failures = 0;
+    Result<PageId> r = OptimisticFindNodeAtLevel(key, level, stack_out,
+                                                 wait_for_level, &failures);
+    if (r.ok() || !r.status().IsAborted()) return r;
+    stats_->Add(StatId::kOptimisticFallbacks);
+  }
+  return CopyFindNodeAtLevel(key, level, stack_out, wait_for_level);
+}
+
+Result<PageId> SagivTree::OptimisticFindNodeAtLevel(
+    Key key, uint32_t level, std::vector<PageId>* stack_out,
+    bool wait_for_level, int* failures) const {
+  int restarts = 0;
+  int waits = 0;
+  for (;;) {
+    if (stack_out) stack_out->clear();
+    const PrimeBlockData pb = prime_.Read();
+    if (pb.num_levels <= level) {
+      if (!wait_for_level) {
+        return Status::NotFound("level does not exist");
+      }
+      // Section 3.3: a split outran the creation of the level it must post
+      // to (or the level was collapsed and will be regrown by a pending
+      // insertion). Wait for the prime block to show the level.
+      if (++waits > options_.max_restarts) {
+        return Status::Internal("level never appeared");
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    PageId current = pb.root();
+    RestartCause cause = RestartCause::kNone;
+    bool restart = false;
+    for (int steps = 0; !restart; ++steps) {
+      if (steps > kMaxStepsPerAttempt) {
+        return Status::Internal("descent did not terminate");
+      }
+      const PageManager::ReadGuard g = pager_->OptimisticRead(current);
+      Route route;  // defaults to kTorn for the unstable-guard case
+      if (g.stable()) {
+        route = RouteForKey(NodeView(g.page()->As<Node>()), key, level);
+        // Nothing read above may be trusted until the version validates;
+        // in particular route.next is followed only on a clean check.
+        if (route.kind != Route::kTorn && !g.Validate()) {
+          route.kind = Route::kTorn;
+        }
+      }
+      if (route.kind == Route::kTorn) {
+        stats_->Add(StatId::kOptimisticRetries);
+        if (++(*failures) > options_.optimistic_retry_limit) {
+          return Status::Aborted("optimistic retry budget exhausted");
+        }
+        continue;  // re-read the same node
+      }
+      stats_->Add(StatId::kOptimisticValidations);
+      switch (route.kind) {
+        case Route::kArrived:
+          return current;
+        case Route::kChild:
+          if (stack_out) stack_out->push_back(current);
+          current = route.next;
+          break;
+        case Route::kLink:
+          stats_->Add(StatId::kLinkFollows);
+          current = route.next;
+          break;
+        case Route::kMerge:
+          stats_->Add(StatId::kMergePointerFollows);
+          current = route.next;
+          break;
+        case Route::kRestartStale:
+          cause = RestartCause::kStaleNode;
+          restart = true;
+          break;
+        case Route::kRestartRightmost:
+          cause = RestartCause::kRightmostStale;
+          restart = true;
+          break;
+        case Route::kRestartNoMergeTarget:
+          cause = RestartCause::kMissingMergeTarget;
+          restart = true;
+          break;
+        case Route::kTorn:
+          break;  // handled above
+      }
+    }
+    CountRestart(cause);
+    if (++restarts > options_.max_restarts) {
+      return Status::Internal("too many restarts in FindNodeAtLevel");
+    }
+  }
+}
+
+Result<PageId> SagivTree::CopyFindNodeAtLevel(Key key, uint32_t level,
+                                              std::vector<PageId>* stack_out,
+                                              bool wait_for_level) const {
   int restarts = 0;
   int waits = 0;
   for (;;) {
@@ -79,7 +282,7 @@ Result<PageId> SagivTree::internal_FindNodeAtLevel(
     PageId current = pb.root();
     Page page;
     Node* node = page.As<Node>();
-    bool restart = false;
+    RestartCause cause = RestartCause::kNone;
     for (int steps = 0;; ++steps) {
       if (steps > kMaxStepsPerAttempt) {
         return Status::Internal("descent did not terminate");
@@ -88,7 +291,7 @@ Result<PageId> SagivTree::internal_FindNodeAtLevel(
       if (node->is_deleted()) {
         const PageId target = node->merge_target;
         if (target == kInvalidPageId) {
-          restart = true;
+          cause = RestartCause::kMissingMergeTarget;
           break;
         }
         stats_->Add(StatId::kMergePointerFollows);
@@ -98,13 +301,13 @@ Result<PageId> SagivTree::internal_FindNodeAtLevel(
       if (node->level < level || key <= node->low) {
         // Wrong node: either a reclaimed-and-reused page (stale pointer) or
         // data moved left by a compression (Section 5.2 case (2)).
-        restart = true;
+        cause = RestartCause::kStaleNode;
         break;
       }
       if (key > node->high) {
         const PageId link = node->link;
         if (link == kInvalidPageId) {
-          restart = true;  // rightmost has high=+inf; this node is stale
+          cause = RestartCause::kRightmostStale;  // stale rightmost node
           break;
         }
         stats_->Add(StatId::kLinkFollows);
@@ -115,8 +318,7 @@ Result<PageId> SagivTree::internal_FindNodeAtLevel(
       if (stack_out) stack_out->push_back(current);
       current = node->ChildFor(key);
     }
-    (void)restart;
-    stats_->Add(StatId::kRestarts);
+    CountRestart(cause);
     if (++restarts > options_.max_restarts) {
       return Status::Internal("too many restarts in FindNodeAtLevel");
     }
@@ -136,7 +338,7 @@ Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
     PageId previous = kInvalidPageId;
     bool backtracked = false;
     int backtracks_this_attempt = 0;
-    bool restart = false;
+    RestartCause cause = RestartCause::kNone;
     for (int steps = 0;; ++steps) {
       if (steps > kMaxStepsPerAttempt) {
         return Status::Internal("descent did not terminate");
@@ -150,8 +352,10 @@ Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
           current = target;
           continue;
         }
+        cause = RestartCause::kMissingMergeTarget;
         wrong = true;
       } else if (key <= node->low) {
+        cause = RestartCause::kStaleNode;
         wrong = true;
       }
       if (wrong) {
@@ -166,13 +370,12 @@ Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
           backtracked = true;
           continue;
         }
-        restart = true;
         break;
       }
       if (key > node->high) {
         const PageId link = node->link;
         if (link == kInvalidPageId) {
-          restart = true;
+          cause = RestartCause::kRightmostStale;
           break;
         }
         stats_->Add(StatId::kLinkFollows);
@@ -189,8 +392,7 @@ Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
       backtracked = false;
       current = node->ChildFor(key);
     }
-    (void)restart;
-    stats_->Add(StatId::kRestarts);
+    CountRestart(cause);
     if (++restarts > options_.max_restarts) {
       return Status::Internal("too many restarts in search");
     }
@@ -210,6 +412,11 @@ Result<Value> SagivTree::Search(Key key) const {
   }
   stats_->Add(StatId::kSearches);
   EpochManager::Guard guard(epoch_.get());
+  if (options_.optimistic_reads) {
+    Result<Value> r = OptimisticSearch(key, &guard);
+    if (r.ok() || !r.status().IsAborted()) return r;
+    stats_->Add(StatId::kOptimisticFallbacks);
+  }
   Page page;
   PageId leaf_page;
   Status s = DescendToLeaf(key, &guard, &page, &leaf_page);
@@ -217,6 +424,81 @@ Result<Value> SagivTree::Search(Key key) const {
   std::optional<Value> v = page.As<Node>()->FindLeafValue(key);
   if (!v.has_value()) return Status::NotFound();
   return *v;
+}
+
+Result<Value> SagivTree::OptimisticSearch(Key key,
+                                          EpochManager::Guard* guard) const {
+  int failures = 0;
+  int restarts = 0;
+  for (;;) {
+    const PrimeBlockData pb = prime_.Read();
+    PageId current = pb.root();
+    RestartCause cause = RestartCause::kNone;
+    bool restart = false;
+    for (int steps = 0; !restart; ++steps) {
+      if (steps > kMaxStepsPerAttempt) {
+        return Status::Internal("descent did not terminate");
+      }
+      const PageManager::ReadGuard g = pager_->OptimisticRead(current);
+      Route route;  // defaults to kTorn for the unstable-guard case
+      std::optional<Value> value;
+      if (g.stable()) {
+        const NodeView view(g.page()->As<Node>());
+        route = RouteForKey(view, key, /*target_level=*/0);
+        // Probe the leaf slot under the same version as the routing
+        // decision: one validation covers both.
+        if (route.kind == Route::kArrived) value = view.FindLeafValue(key);
+        if (route.kind != Route::kTorn && !g.Validate()) {
+          route.kind = Route::kTorn;
+        }
+      }
+      if (route.kind == Route::kTorn) {
+        stats_->Add(StatId::kOptimisticRetries);
+        if (++failures > options_.optimistic_retry_limit) {
+          return Status::Aborted("optimistic retry budget exhausted");
+        }
+        continue;  // re-read the same node
+      }
+      stats_->Add(StatId::kOptimisticValidations);
+      switch (route.kind) {
+        case Route::kArrived:
+          if (!value.has_value()) return Status::NotFound();
+          return *value;
+        case Route::kChild:
+          current = route.next;
+          break;
+        case Route::kLink:
+          stats_->Add(StatId::kLinkFollows);
+          current = route.next;
+          break;
+        case Route::kMerge:
+          stats_->Add(StatId::kMergePointerFollows);
+          current = route.next;
+          break;
+        case Route::kRestartStale:
+          cause = RestartCause::kStaleNode;
+          restart = true;
+          break;
+        case Route::kRestartRightmost:
+          cause = RestartCause::kRightmostStale;
+          restart = true;
+          break;
+        case Route::kRestartNoMergeTarget:
+          cause = RestartCause::kMissingMergeTarget;
+          restart = true;
+          break;
+        case Route::kTorn:
+          break;  // handled above
+      }
+    }
+    CountRestart(cause);
+    if (++restarts > options_.max_restarts) {
+      return Status::Internal("too many restarts in search");
+    }
+    // Re-pin: a restarted search may legally observe a fresher tree, and
+    // releasing the old pin lets reclamation advance (Section 5.3).
+    guard->Refresh();
+  }
 }
 
 size_t SagivTree::Scan(Key lo, Key hi,
@@ -229,13 +511,155 @@ size_t SagivTree::Scan(Key lo, Key hi,
 
   size_t visited = 0;
   Key next_key = lo;
-  Page page;
+  if (options_.optimistic_reads) {
+    Status s = OptimisticScan(&next_key, hi, visitor, &guard, &visited);
+    if (!s.IsAborted()) return visited;  // done (or stopped / gave up)
+    stats_->Add(StatId::kOptimisticFallbacks);
+  }
+  return CopyScan(next_key, hi, visitor, &guard, visited);
+}
+
+Status SagivTree::OptimisticScan(Key* next_key_io, Key hi,
+                                 const std::function<bool(Key, Value)>& visitor,
+                                 EpochManager::Guard* guard,
+                                 size_t* visited) const {
+  int failures = 0;
+  int restarts = 0;
+  Key next_key = *next_key_io;
+  PageId current = kInvalidPageId;  // invalid: descend to locate the leaf
+
+  // Entries of one leaf are harvested under a single version, validated,
+  // and only then delivered — the visitor never sees an unvalidated pair.
+  TlReadBuffersLease lease;
+  std::vector<Entry> local_entries;
+  std::vector<Entry>& buf =
+      lease.claimed() ? tl_read_buffers.entries : local_entries;
+  buf.reserve(Node::kMaxEntries);
+
+  int steps = 0;
+  for (;;) {
+    *next_key_io = next_key;
+    if (current == kInvalidPageId) {
+      Result<PageId> leaf =
+          OptimisticFindNodeAtLevel(next_key, /*level=*/0, nullptr,
+                                    /*wait_for_level=*/true, &failures);
+      if (!leaf.ok()) {
+        // Aborted propagates to the copy fallback; a hard failure ends
+        // the scan with what was delivered (the copy path's behavior).
+        return leaf.status().IsAborted() ? leaf.status() : Status::OK();
+      }
+      current = *leaf;
+      steps = 0;
+    }
+    if (++steps > kMaxStepsPerAttempt) {
+      return Status::Internal("scan did not terminate");
+    }
+    const PageManager::ReadGuard g = pager_->OptimisticRead(current);
+    enum { kRetry, kMove, kRestart, kDeliver } action = kRetry;
+    PageId move_to = kInvalidPageId;
+    StatId move_stat = StatId::kLinkFollows;
+    RestartCause cause = RestartCause::kNone;
+    Key leaf_high = 0;
+    PageId leaf_link = kInvalidPageId;
+    buf.clear();
+    if (g.stable()) {
+      const NodeView view(g.page()->As<Node>());
+      if (view.is_deleted()) {
+        const PageId target = view.merge_target();
+        if (g.Validate()) {
+          if (target == kInvalidPageId) {
+            action = kRestart;
+            cause = RestartCause::kMissingMergeTarget;
+          } else {
+            action = kMove;
+            move_to = target;
+            move_stat = StatId::kMergePointerFollows;
+          }
+        }
+      } else if (!view.is_leaf() || next_key <= view.low()) {
+        // Reused page (no longer a leaf) or data moved left (§5.2 (2)).
+        if (g.Validate()) {
+          action = kRestart;
+          cause = RestartCause::kStaleNode;
+        }
+      } else if (next_key > view.high()) {
+        const PageId link = view.link();
+        if (g.Validate()) {
+          if (link == kInvalidPageId) {
+            action = kRestart;
+            cause = RestartCause::kRightmostStale;
+          } else {
+            action = kMove;
+            move_to = link;
+            move_stat = StatId::kLinkFollows;
+          }
+        }
+      } else {
+        // Harvest this leaf's pairs in [next_key, hi] plus its high/link.
+        leaf_high = view.high();
+        leaf_link = view.link();
+        const uint32_t n = view.count();
+        for (uint32_t i = view.LowerBound(next_key); i < n; ++i) {
+          const Key k = view.entry_key(i);
+          if (k > hi) break;
+          buf.push_back(Entry{k, view.entry_value(i)});
+        }
+        if (g.Validate()) action = kDeliver;
+      }
+    }
+    switch (action) {
+      case kRetry:
+        stats_->Add(StatId::kOptimisticRetries);
+        if (++failures > options_.optimistic_retry_limit) {
+          return Status::Aborted("optimistic retry budget exhausted");
+        }
+        continue;  // re-read the same page
+      case kMove:
+        stats_->Add(StatId::kOptimisticValidations);
+        stats_->Add(move_stat);
+        current = move_to;
+        continue;
+      case kRestart:
+        stats_->Add(StatId::kOptimisticValidations);
+        CountRestart(cause);
+        if (++restarts > options_.max_restarts) {
+          return Status::Internal("too many restarts in scan");
+        }
+        guard->Refresh();
+        current = kInvalidPageId;
+        continue;
+      case kDeliver:
+        break;
+    }
+    stats_->Add(StatId::kOptimisticValidations);
+    for (const Entry& e : buf) {
+      ++*visited;
+      if (!visitor(e.key, e.value)) return Status::OK();
+    }
+    if (leaf_high >= hi || leaf_high == kPlusInfinity) return Status::OK();
+    next_key = leaf_high + 1;
+    steps = 0;  // the steps bound is per positioning attempt, not per scan
+    // Fast path: follow the leaf link (the probe above re-checks that it
+    // still covers next_key); a nil link forces a fresh descent.
+    current = leaf_link;
+    if (current != kInvalidPageId) stats_->Add(StatId::kLinkFollows);
+  }
+}
+
+size_t SagivTree::CopyScan(Key next_key, Key hi,
+                           const std::function<bool(Key, Value)>& visitor,
+                           EpochManager::Guard* guard, size_t visited) const {
+  // Reuse the thread-local page across leaves (a fresh 4 KB buffer per
+  // scan costs a cache-cold write-back on every call).
+  TlReadBuffersLease lease;
+  Page local_page;
+  Page& page = lease.claimed() ? tl_read_buffers.page : local_page;
   Node* node = page.As<Node>();
   bool have_leaf = false;
   for (;;) {
     if (!have_leaf) {
       PageId leaf_page;
-      if (!DescendToLeaf(next_key, &guard, &page, &leaf_page).ok()) {
+      if (!DescendToLeaf(next_key, guard, &page, &leaf_page).ok()) {
         return visited;
       }
     }
@@ -281,7 +705,7 @@ Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
     }
     pager_->Lock(current);
     pager_->Get(current, page);
-    bool restart = false;
+    RestartCause cause = RestartCause::kNone;
     if (node->is_deleted()) {
       const PageId target = node->merge_target;
       pager_->Unlock(current);
@@ -290,15 +714,15 @@ Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
         current = target;
         continue;
       }
-      restart = true;
+      cause = RestartCause::kMissingMergeTarget;
     } else if (node->level != level || ins_key <= node->low) {
       pager_->Unlock(current);
-      restart = true;
+      cause = RestartCause::kStaleNode;
     } else if (ins_key > node->high) {
       const PageId link = node->link;
       pager_->Unlock(current);
       if (link == kInvalidPageId) {
-        restart = true;
+        cause = RestartCause::kRightmostStale;
       } else {
         stats_->Add(StatId::kLinkFollows);
         current = link;
@@ -307,9 +731,8 @@ Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
     } else {
       return current;  // locked; image in *page
     }
-    assert(restart);
-    (void)restart;
-    stats_->Add(StatId::kRestarts);
+    assert(cause != RestartCause::kNone);
+    CountRestart(cause);
     if (++(*restarts) > options_.max_restarts) {
       return Status::Internal("too many restarts acquiring target node");
     }

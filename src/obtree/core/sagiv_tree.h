@@ -3,7 +3,12 @@
 // SagivTree: the paper's primary contribution. A B-link tree supporting
 // fully concurrent searches, insertions, and deletions where
 //
-//   * readers acquire NO locks and may read nodes locked by updaters;
+//   * readers acquire NO locks and may read nodes locked by updaters; by
+//     default they also copy no pages: the unlocked descents read node
+//     headers and the one binary-search slot they need in place through
+//     PageManager::OptimisticRead, validating the seqlock version before
+//     trusting anything, and fall back to full-page copy-reads after
+//     options().optimistic_retry_limit failed validations;
 //   * an insertion holds AT MOST ONE lock at any instant (Section 3) —
 //     updaters may overtake one another on the way up the tree;
 //   * deletions remove the record from its leaf under one lock (Section 4)
@@ -56,7 +61,9 @@ class SagivTree {
   /// Returns AlreadyExists if the key is present (tree unchanged).
   Status Insert(Key key, Value value);
 
-  /// Look up a key. Returns the value or NotFound. Lock-free.
+  /// Look up a key. Returns the value or NotFound. Lock-free; with
+  /// options().optimistic_reads (the default) also copy-free: the descent
+  /// validates page versions instead of copying 4 KB per node visited.
   Result<Value> Search(Key key) const;
 
   /// Delete a key. Returns NotFound if absent. No restructuring happens
@@ -100,7 +107,10 @@ class SagivTree {
   /// through which the descent came down at each level above `level`
   /// (deepest last), as produced by the paper's movedown-and-stack.
   /// Does not lock. Returns the page id, or Internal after too many
-  /// restarts.
+  /// restarts. Uses the optimistic in-place read path when
+  /// options().optimistic_reads is set (with automatic fallback to
+  /// copy-reads); callers that need the node contents re-read them under
+  /// their own lock/copy discipline afterwards.
   ///
   /// If the tree currently has fewer than level+1 levels: with
   /// wait_for_level (the insertion ascent semantics of Section 3.3) the
@@ -131,12 +141,58 @@ class SagivTree {
   }
 
  private:
-  // Search descent used by Search/Scan: movedown + moveright without
+  // Why a descent gave up on its current node and restarted from the
+  // root; drives the per-cause restart counters.
+  enum class RestartCause {
+    kNone,
+    kStaleNode,           // wrong level, or key <= low: a reused page or
+                          // data moved left by compression (§5.2 case (2))
+    kRightmostStale,      // nil link yet key > high: stale rightmost node
+    kMissingMergeTarget,  // deleted node whose merge pointer is not posted
+  };
+  void CountRestart(RestartCause cause) const;
+
+  // Copy-read search descent (the fallback path, and the only path when
+  // options().optimistic_reads is false): movedown + moveright without
   // locking. Fills *page with the image of the leaf whose range contains
   // `key` and *leaf_page with its id. Restarts (refreshing *guard) when
   // routed to a wrong node. Counts restarts against options().max_restarts.
   Status DescendToLeaf(Key key, EpochManager::Guard* guard, Page* page,
                        PageId* leaf_page) const;
+
+  // Copy-read half of internal_FindNodeAtLevel (one 4 KB Get per node
+  // visited).
+  Result<PageId> CopyFindNodeAtLevel(Key key, uint32_t level,
+                                     std::vector<PageId>* stack_out,
+                                     bool wait_for_level) const;
+
+  // Optimistic half of internal_FindNodeAtLevel: reads each node in place
+  // and validates the page version before acting on anything it saw.
+  // *failures accumulates discarded reads across the logical operation;
+  // returns Aborted once it exceeds options().optimistic_retry_limit (the
+  // caller then falls back to the copy path).
+  Result<PageId> OptimisticFindNodeAtLevel(Key key, uint32_t level,
+                                           std::vector<PageId>* stack_out,
+                                           bool wait_for_level,
+                                           int* failures) const;
+
+  // Optimistic point lookup: in-place descent to the leaf, in-place value
+  // probe, single validation covering the probe. Aborted = fall back.
+  Result<Value> OptimisticSearch(Key key, EpochManager::Guard* guard) const;
+
+  // Optimistic range scan from *next_key: harvests each leaf's relevant
+  // entries into a (thread-local) buffer, validates, then delivers. On
+  // Aborted, *next_key is the resume position for the copy fallback and
+  // *visited the pairs already delivered.
+  Status OptimisticScan(Key* next_key, Key hi,
+                        const std::function<bool(Key, Value)>& visitor,
+                        EpochManager::Guard* guard, size_t* visited) const;
+
+  // Copy-read scan loop starting at next_key with `visited` pairs already
+  // delivered; returns the final total.
+  size_t CopyScan(Key next_key, Key hi,
+                  const std::function<bool(Key, Value)>& visitor,
+                  EpochManager::Guard* guard, size_t visited) const;
 
   // Lock the live node at `level` in whose range `ins_key` falls, starting
   // the moveright from `start`. On return the node is paper-locked and its

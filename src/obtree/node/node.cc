@@ -180,6 +180,35 @@ Key Node::RedistributeWithRight(Node* right, uint32_t min_entries) {
   return sep;
 }
 
+uint32_t NodeView::LowerBound(Key k) const {
+  uint32_t lo = 0;
+  uint32_t hi = count();  // clamped: the search stays inside the array
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (entry_key(mid) < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<Value> NodeView::FindLeafValue(Key k) const {
+  const uint32_t i = LowerBound(k);
+  if (i < count() && entry_key(i) == k) return entry_value(i);
+  return std::nullopt;
+}
+
+PageId NodeView::ChildFor(Key k) const {
+  const uint32_t i = LowerBound(k);
+  // On a consistent internal image k <= high == entries[count-1].key
+  // guarantees i < count; a torn image may violate that, so report the
+  // inconsistency instead of reading past the live entries.
+  if (i >= count()) return kInvalidPageId;
+  return static_cast<PageId>(entry_value(i));
+}
+
 std::string Node::DebugString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

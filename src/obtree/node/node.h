@@ -172,6 +172,73 @@ struct Node {
 static_assert(sizeof(Node) <= kPageSize, "Node must fit a page");
 static_assert(Node::kMaxEntries == 254);
 
+/// Read-only view over a node image that may be concurrently rewritten —
+/// the optimistic in-place read path (PageManager::OptimisticRead). Every
+/// access goes through relaxed word-sized atomic loads so a racing Put
+/// stays defined behavior, and every value read may be torn garbage until
+/// the caller validates the page version. The search entry points are
+/// therefore total and bounded on ANY bit pattern: count is clamped, the
+/// binary search cannot run away, no method chases a pointer, and
+/// inconsistent images surface as kInvalidPageId / nullopt instead of
+/// asserts. Nothing read through a NodeView may be trusted before
+/// ReadGuard::Validate() returns true.
+class NodeView {
+ public:
+  explicit NodeView(const Node* node) : node_(node) {}
+
+  uint16_t level() const { return Load16(&node_->level); }
+  uint16_t flags() const { return Load16(&node_->flags); }
+  bool is_leaf() const { return level() == 0; }
+  bool is_root() const { return flags() & kNodeFlagRoot; }
+  bool is_deleted() const { return flags() & kNodeFlagDeleted; }
+
+  /// Entry count clamped to kMaxEntries (a torn count must not widen any
+  /// loop past the entry array).
+  uint32_t count() const {
+    const uint32_t c = Load32(&node_->count);
+    return c <= Node::kMaxEntries ? c
+                                  : static_cast<uint32_t>(Node::kMaxEntries);
+  }
+
+  Key low() const { return Load64(&node_->low); }
+  Key high() const { return Load64(&node_->high); }
+  PageId link() const { return Load32(&node_->link); }
+  PageId merge_target() const { return Load32(&node_->merge_target); }
+
+  Key entry_key(uint32_t i) const { return Load64(&node_->entries[i].key); }
+  uint64_t entry_value(uint32_t i) const {
+    return Load64(&node_->entries[i].value);
+  }
+
+  /// Index of the first entry with key >= k; count() if none. Bounded on
+  /// torn images (at most log2(kMaxEntries) probes).
+  uint32_t LowerBound(Key k) const;
+
+  /// The value stored for key k in a leaf image, if present.
+  std::optional<Value> FindLeafValue(Key k) const;
+
+  /// The child covering key k in an internal image, or kInvalidPageId
+  /// when the image is inconsistent (empty node or k past the last
+  /// entry). Callers must treat kInvalidPageId as a validation failure —
+  /// never follow it. (The full next(A, v) evaluation over a view — which
+  /// must also honor the deletion bit and merge pointer — lives in
+  /// SagivTree's RouteForKey.)
+  PageId ChildFor(Key k) const;
+
+ private:
+  static uint16_t Load16(const uint16_t* p) {
+    return __atomic_load_n(p, __ATOMIC_RELAXED);
+  }
+  static uint32_t Load32(const uint32_t* p) {
+    return __atomic_load_n(p, __ATOMIC_RELAXED);
+  }
+  static uint64_t Load64(const uint64_t* p) {
+    return __atomic_load_n(p, __ATOMIC_RELAXED);
+  }
+
+  const Node* node_;
+};
+
 /// Bytes of a page image that are meaningful for a node with `count`
 /// entries (header + entries). Used to bound copy sizes.
 inline size_t NodeBytes(uint32_t count) {

@@ -39,6 +39,16 @@ void AtomicCopyIn(const uint8_t* src, uint8_t* dst, size_t bytes) {
   }
 }
 
+// Zero a page with the same word-granular atomic stores as AtomicCopyIn:
+// optimistic readers may still be probing a page while its reuse zeroes
+// it, and a plain memset racing those atomic loads would be undefined.
+void AtomicZero(uint8_t* dst) {
+  auto* d = reinterpret_cast<uint64_t*>(dst);
+  for (size_t i = 0; i < kPageSize / 8; ++i) {
+    __atomic_store_n(&d[i], uint64_t{0}, __ATOMIC_RELAXED);
+  }
+}
+
 }  // namespace
 
 PageManager::PageManager(EpochManager* epoch, StatsCollector* stats)
@@ -104,7 +114,7 @@ Result<PageId> PageManager::Allocate() {
       // the dead node and the new one.
       uint64_t seq = slot->seq.fetch_add(1, std::memory_order_acq_rel);
       (void)seq;
-      std::memset(slot->page.bytes, 0, kPageSize);
+      AtomicZero(slot->page.bytes);
       slot->seq.fetch_add(1, std::memory_order_release);
       return id;
     }
@@ -138,6 +148,14 @@ void PageManager::Get(PageId id, Page* out) const {
     if (s1 == s2) break;
   }
   stats_->Add(StatId::kGets);
+}
+
+PageManager::ReadGuard PageManager::OptimisticRead(PageId id) const {
+  MaybeSimulateIo();
+  const Slot* slot = SlotFor(id);
+  const uint64_t version = slot->seq.load(std::memory_order_acquire);
+  stats_->Add(StatId::kGets);
+  return ReadGuard(&slot->seq, &slot->page, version);
 }
 
 void PageManager::Put(PageId id, const Page& in) {

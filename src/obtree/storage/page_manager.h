@@ -71,6 +71,52 @@ class PageManager {
   /// Indivisible read of a page into *out (the paper's get(x)).
   void Get(PageId id, Page* out) const;
 
+  /// Handle for an optimistic in-place read of one page: the live page
+  /// plus the seqlock version observed at acquisition. The page content
+  /// may be rewritten underneath at any time, so anything read through
+  /// page() is untrusted garbage until Validate() returns true AFTER the
+  /// reads — and every access to page() bytes must go through relaxed
+  /// atomic loads (see NodeView) to stay defined under a racing Put.
+  class ReadGuard {
+   public:
+    /// Invalid guard: stable() and Validate() are false.
+    ReadGuard() = default;
+
+    /// The live page image (never copied). nullptr on an invalid guard.
+    const Page* page() const { return page_; }
+
+    /// True if no put was in flight when the guard was acquired. An
+    /// unstable guard can never validate; re-acquire instead of spinning
+    /// on Validate().
+    bool stable() const { return seq_ != nullptr && (version_ & 1) == 0; }
+
+    /// True iff no put has started or finished on the page since
+    /// acquisition — everything read from page() in between is a
+    /// consistent snapshot. (Page reuse via Retire/Allocate also bumps
+    /// the version, so a recycled page never validates.)
+    bool Validate() const {
+      if (!stable()) return false;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      return seq_->load(std::memory_order_relaxed) == version_;
+    }
+
+   private:
+    friend class PageManager;
+    ReadGuard(const std::atomic<uint64_t>* seq, const Page* page,
+              uint64_t version)
+        : seq_(seq), page_(page), version_(version) {}
+
+    const std::atomic<uint64_t>* seq_ = nullptr;
+    const Page* page_ = nullptr;
+    uint64_t version_ = 1;  // odd: never validates
+  };
+
+  /// Begin an optimistic in-place read (the fast-path alternative to Get
+  /// that moves no page bytes). Counts as a node access: it pays the
+  /// simulated I/O latency and the kGets counter exactly like Get, so the
+  /// paper's cost model still holds; Validate() is free.
+  ReadGuard OptimisticRead(PageId id) const;
+
   /// Indivisible write of a page (the paper's put(A, x)).
   void Put(PageId id, const Page& in);
 

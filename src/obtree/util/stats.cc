@@ -14,7 +14,14 @@ const char* StatName(StatId id) {
     case StatId::kLocksAcquired: return "locks_acquired";
     case StatId::kLinkFollows: return "link_follows";
     case StatId::kRestarts: return "restarts";
+    case StatId::kRestartsStaleNode: return "restarts_stale_node";
+    case StatId::kRestartsRightmostStale: return "restarts_rightmost_stale";
+    case StatId::kRestartsMissingMergeTarget:
+      return "restarts_missing_merge_target";
     case StatId::kBacktracks: return "backtracks";
+    case StatId::kOptimisticValidations: return "optimistic_validations";
+    case StatId::kOptimisticRetries: return "optimistic_retries";
+    case StatId::kOptimisticFallbacks: return "optimistic_fallbacks";
     case StatId::kMergePointerFollows: return "merge_pointer_follows";
     case StatId::kSplits: return "splits";
     case StatId::kMerges: return "merges";

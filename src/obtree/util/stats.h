@@ -24,9 +24,21 @@ enum class StatId : int {
   kPuts,                 ///< page writes (the paper's put)
   kLocksAcquired,        ///< paper-lock acquisitions
   kLinkFollows,          ///< moveright steps through link pointers
-  kRestarts,             ///< operations restarted from the root
+  kRestarts,             ///< operations restarted from the root (total)
+  kRestartsStaleNode,    ///< restarts: routed to a node whose level or key
+                         ///< range no longer matches (reused page or data
+                         ///< moved left by compression, §5.2 case (2))
+  kRestartsRightmostStale,  ///< restarts: a node claiming to be rightmost
+                            ///< (nil link) no longer covers the key
+  kRestartsMissingMergeTarget,  ///< restarts: deleted node with no merge
+                                ///< pointer yet (§5.1 window)
   kBacktracks,           ///< wrong-node events recovered by backtracking
                          ///< to the previous node (§5.2 optimization)
+  kOptimisticValidations,  ///< optimistic in-place reads validated clean
+  kOptimisticRetries,    ///< optimistic reads discarded (version moved or
+                         ///< a put was in flight) and re-attempted
+  kOptimisticFallbacks,  ///< operations that exhausted the optimistic
+                         ///< retry budget and fell back to copy-reads
   kMergePointerFollows,  ///< deleted node hops recovered via merge pointer
   kSplits,               ///< node splits
   kMerges,               ///< compression merges (B absorbed into A)
