@@ -4,13 +4,15 @@
 
 #include <algorithm>
 
+#include "obtree/core/background_pool.h"
 #include "obtree/core/queue_compressor.h"
 #include "obtree/core/scan_compressor.h"
 #include "obtree/core/tree_checker.h"
 
 namespace obtree {
 
-ConcurrentMap::ConcurrentMap(const MapOptions& options) : options_(options) {
+ConcurrentMap::ConcurrentMap(const MapOptions& options, BackgroundPool* pool)
+    : options_(options) {
   TreeOptions tree_options = options_.tree;
   if (options_.compression == CompressionMode::kQueueWorkers) {
     tree_options.enqueue_underfull_on_delete = true;
@@ -22,6 +24,11 @@ ConcurrentMap::ConcurrentMap(const MapOptions& options) : options_(options) {
     case CompressionMode::kNone:
       break;
     case CompressionMode::kBackgroundScan:
+      if (pool != nullptr) {
+        pool_ = pool;
+        pool_handle_ = pool->Attach(tree_.get(), /*queue=*/nullptr);
+        break;
+      }
       scan_compressor_ = std::make_unique<ScanCompressor>(tree_.get());
       for (int i = 0; i < workers; ++i) {
         workers_.emplace_back([this]() {
@@ -33,24 +40,51 @@ ConcurrentMap::ConcurrentMap(const MapOptions& options) : options_(options) {
       queue_ = std::make_unique<CompressionQueue>();
       queue_->RegisterWith(tree_->epoch());
       tree_->AttachCompressionQueue(queue_.get());
+      if (pool != nullptr) {
+        pool_ = pool;
+        pool_handle_ = pool->Attach(tree_.get(), queue_.get());
+        break;
+      }
+      // Populate the compressor vector fully BEFORE spawning any thread:
+      // a worker indexing queue_compressors_ while a later push_back
+      // reallocates it is a data race.
+      queue_compressors_.reserve(static_cast<size_t>(workers));
       for (int i = 0; i < workers; ++i) {
         queue_compressors_.push_back(
             std::make_unique<QueueCompressor>(tree_.get(), queue_.get()));
-        workers_.emplace_back([this, i]() {
-          queue_compressors_[static_cast<size_t>(i)]->RunUntil(
-              &stop_, std::chrono::milliseconds(1));
+      }
+      for (int i = 0; i < workers; ++i) {
+        QueueCompressor* compressor =
+            queue_compressors_[static_cast<size_t>(i)].get();
+        workers_.emplace_back([this, compressor]() {
+          compressor->RunUntil(&stop_, std::chrono::milliseconds(1));
         });
       }
       break;
   }
 }
 
-ConcurrentMap::~ConcurrentMap() {
+ConcurrentMap::~ConcurrentMap() { ShutdownMaintenance(); }
+
+void ConcurrentMap::ShutdownMaintenance() noexcept {
+  // Order matters: background maintenance must be fully quiesced BEFORE
+  // the tree or queue begins tearing down — a pool worker mid-CompressOne
+  // dereferences both. Detach blocks until no worker touches this map and
+  // is idempotent, so calling this twice (or after a partial construction)
+  // is safe.
+  if (pool_ != nullptr) {
+    pool_->Detach(pool_handle_);
+    pool_ = nullptr;
+    pool_handle_ = 0;
+  }
   stop_.store(true, std::memory_order_release);
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
   // Detach before the queue dies (the tree outlives it in this class, but
   // be explicit about the dependency).
-  tree_->AttachCompressionQueue(nullptr);
+  if (tree_ != nullptr) tree_->AttachCompressionQueue(nullptr);
 }
 
 Status ConcurrentMap::Insert(Key key, Value value) {

@@ -31,6 +31,7 @@
 
 namespace obtree {
 
+class BackgroundPool;
 class QueueCompressor;
 class ScanCompressor;
 struct TreeShape;
@@ -51,9 +52,18 @@ struct MapOptions {
 /// Thread-safe ordered map from Key to Value.
 class ConcurrentMap {
  public:
-  explicit ConcurrentMap(const MapOptions& options = MapOptions());
+  /// With `pool == nullptr` (the default) the map spawns its own
+  /// options.compression_threads background workers. With a pool, the map
+  /// spawns NO threads of its own: it attaches its compression work
+  /// (queue or scan, per options.compression) to the shared
+  /// BackgroundPool, which must outlive the map. ShardedMap uses this to
+  /// serve any number of shards with one machine-sized worker set.
+  explicit ConcurrentMap(const MapOptions& options = MapOptions(),
+                         BackgroundPool* pool = nullptr);
 
-  /// Stops and joins background compression threads.
+  /// Detaches from the shared pool (blocking until no pool worker touches
+  /// this map) or stops and joins the owned workers — in either case
+  /// before the tree or queue begins tearing down.
   ~ConcurrentMap();
   OBTREE_DISALLOW_COPY_AND_ASSIGN(ConcurrentMap);
 
@@ -143,7 +153,21 @@ class ConcurrentMap {
   const SagivTree* tree() const { return tree_.get(); }
   CompressionQueue* queue() { return queue_.get(); }
 
+  /// Background threads THIS map owns (0 when served by a shared pool or
+  /// compression is off).
+  int background_thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// The shared pool serving this map, or nullptr when it owns workers.
+  BackgroundPool* attached_pool() const { return pool_; }
+
  private:
+  /// Idempotent, exception-safe teardown of background maintenance:
+  /// detach from the shared pool / stop and join owned workers, then
+  /// detach the queue from the tree. Safe to call repeatedly.
+  void ShutdownMaintenance() noexcept;
+
   MapOptions options_;
   std::unique_ptr<SagivTree> tree_;
   std::unique_ptr<CompressionQueue> queue_;
@@ -151,6 +175,8 @@ class ConcurrentMap {
   std::vector<std::unique_ptr<QueueCompressor>> queue_compressors_;
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;
+  BackgroundPool* pool_ = nullptr;  ///< not owned; null => own workers_
+  uint64_t pool_handle_ = 0;
 };
 
 }  // namespace obtree

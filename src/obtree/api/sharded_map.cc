@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obtree/core/background_pool.h"
 #include "obtree/core/tree_checker.h"
 
 namespace obtree {
@@ -20,19 +21,31 @@ ShardedMap::ShardedMap(const ShardOptions& options) : options_(options) {
       options_.key_space_hint / n + (options_.key_space_hint % n != 0);
   if (shard_width_ == 0) shard_width_ = 1;
 
+  // One machine-sized maintenance pool serves every shard (the default);
+  // per_shard_workers restores the old N-shards-times-threads topology.
+  if (!options_.per_shard_workers &&
+      options_.compression != CompressionMode::kNone) {
+    BackgroundPool::Options pool_options;
+    pool_options.threads = options_.pool_threads;
+    pool_ = std::make_unique<BackgroundPool>(pool_options);
+  }
+
   MapOptions shard_options;
   shard_options.tree = options_.tree;
   shard_options.compression = options_.compression;
   shard_options.compression_threads = options_.compression_threads_per_shard;
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<ConcurrentMap>(shard_options));
+    shards_.push_back(
+        std::make_unique<ConcurrentMap>(shard_options, pool_.get()));
     if (init_status_.ok()) {
       init_status_ = shards_.back()->init_status();
     }
   }
 }
 
+// Members tear down in reverse order: shards_ first (each shard detaches
+// from the pool, blocking until no worker touches it), then pool_.
 ShardedMap::~ShardedMap() = default;
 
 Status ShardedMap::Insert(Key key, Value value) {
@@ -100,6 +113,17 @@ uint32_t ShardedMap::Height() const {
 
 void ShardedMap::CompressNow() {
   for (auto& s : shards_) s->CompressNow();
+}
+
+PoolStatsSnapshot ShardedMap::PoolStats() const {
+  return pool_ != nullptr ? pool_->Stats() : PoolStatsSnapshot();
+}
+
+int ShardedMap::background_thread_count() const {
+  if (pool_ != nullptr) return pool_->thread_count();
+  int total = 0;
+  for (const auto& s : shards_) total += s->background_thread_count();
+  return total;
 }
 
 StatsSnapshot ShardedMap::Stats() const {

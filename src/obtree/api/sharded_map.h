@@ -40,6 +40,7 @@
 
 namespace obtree {
 
+class BackgroundPool;
 struct TreeShape;
 
 /// Thread-safe ordered map, partitioned across independent tree shards.
@@ -92,6 +93,11 @@ class ShardedMap {
   /// Operation counters summed across shards; max_locks_held is the max.
   StatsSnapshot Stats() const;
 
+  /// Counters of the shared background-maintenance pool: tasks drained
+  /// per shard, boost/steal counts, idle ratio. Empty (threads == 0) in
+  /// per-shard-workers mode or with compression off.
+  PoolStatsSnapshot PoolStats() const;
+
   /// Structural statistics aggregated across shards: heights max,
   /// node/key counts sum, per-level node counts sum element-wise,
   /// avg_leaf_fill weighted by each shard's leaf count.
@@ -125,12 +131,24 @@ class ShardedMap {
   ConcurrentMap* shard(uint32_t i) { return shards_[i].get(); }
   const ConcurrentMap* shard(uint32_t i) const { return shards_[i].get(); }
 
+  /// The shared maintenance pool, or nullptr in per-shard-workers mode /
+  /// with compression off.
+  BackgroundPool* pool() const { return pool_.get(); }
+
+  /// Total background maintenance threads serving this map: the pool's
+  /// fixed size in shared-pool mode (independent of num_shards), or the
+  /// sum of per-shard workers in fallback mode (grows with num_shards).
+  int background_thread_count() const;
+
   const ShardOptions& options() const { return options_; }
 
  private:
   ShardOptions options_;
   Status init_status_;
   uint64_t shard_width_;  ///< keys per shard range (ceil division)
+  /// Declared before shards_ so it is destroyed after them: each shard's
+  /// destructor detaches itself from the (still-live) pool.
+  std::unique_ptr<BackgroundPool> pool_;
   std::vector<std::unique_ptr<ConcurrentMap>> shards_;
 };
 

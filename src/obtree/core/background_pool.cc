@@ -1,0 +1,298 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/core/background_pool.h"
+
+#include <cstdlib>
+
+#include "obtree/core/compression_queue.h"
+#include "obtree/core/queue_compressor.h"
+#include "obtree/core/sagiv_tree.h"
+#include "obtree/core/scan_compressor.h"
+
+namespace obtree {
+
+int BackgroundPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("OBTREE_POOL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 2;
+  // A maintenance share of the machine: a quarter of the cores, at least
+  // one, at most eight (the paper's "small number of background
+  // processes" serves arbitrarily many shards).
+  const unsigned quarter = hw / 4;
+  return static_cast<int>(quarter < 1 ? 1 : (quarter > 8 ? 8 : quarter));
+}
+
+BackgroundPool::BackgroundPool() : BackgroundPool(Options()) {}
+
+BackgroundPool::BackgroundPool(const Options& options) : options_(options) {
+  if (options_.threads <= 0) options_.threads = DefaultThreadCount();
+  if (options_.idle_sleep.count() <= 0) {
+    options_.idle_sleep = std::chrono::milliseconds(1);
+  }
+  threads_started_ = options_.threads;
+  workers_.reserve(static_cast<size_t>(threads_started_));
+  for (int i = 0; i < threads_started_; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+BackgroundPool::~BackgroundPool() { Stop(); }
+
+uint64_t BackgroundPool::Attach(SagivTree* tree, CompressionQueue* queue) {
+  auto src = std::make_shared<Source>();
+  src->tree = tree;
+  src->queue = queue;
+  if (queue != nullptr) {
+    src->drainer = std::make_unique<QueueCompressor>(tree, queue);
+  } else {
+    src->scanner = std::make_unique<ScanCompressor>(tree);
+  }
+  uint64_t handle;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    handle = next_handle_++;
+    src->handle = handle;
+    sources_.push_back(std::move(src));
+  }
+  // Wake idle workers so a busy queue gets service promptly (the bump
+  // invalidates the generation captured before their idle wait).
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  return handle;
+}
+
+void BackgroundPool::Detach(uint64_t handle) {
+  std::shared_ptr<Source> src;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+      if ((*it)->handle == handle) {
+        src = *it;
+        sources_.erase(it);
+        break;
+      }
+    }
+  }
+  if (src == nullptr) return;  // unknown or already detached: idempotent
+  // seq_cst store/load pairs with BeginWork's fetch_add/load: either the
+  // worker sees `detached` and backs out, or Detach sees its increment of
+  // `active` and waits for the matching EndWork.
+  src->detached.store(true);
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  wake_cv_.wait(lk, [&]() { return src->active.load() == 0; });
+}
+
+void BackgroundPool::Stop() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+size_t BackgroundPool::num_sources() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sources_.size();
+}
+
+PoolStatsSnapshot BackgroundPool::Stats() const {
+  PoolStatsSnapshot snap;
+  snap.threads = threads_started_;
+  // Read the per-shard slices BEFORE the pool-wide totals (workers
+  // increment in the opposite order, with a release on the slice that
+  // these acquire loads pair with), so totals always cover slices.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.shards.reserve(sources_.size());
+    for (const auto& s : sources_) {
+      PoolShardStats ps;
+      ps.handle = s->handle;
+      ps.tasks_drained = s->tasks_drained.load(std::memory_order_acquire);
+      ps.restructures = s->restructures.load(std::memory_order_acquire);
+      ps.requeues = s->requeues.load(std::memory_order_relaxed);
+      ps.boosts = s->boosts.load(std::memory_order_relaxed);
+      snap.shards.push_back(ps);
+    }
+  }
+  snap.rounds = rounds_.load(std::memory_order_relaxed);
+  snap.tasks_drained = tasks_drained_.load(std::memory_order_relaxed);
+  snap.restructures = restructures_.load(std::memory_order_relaxed);
+  snap.boosts = boosts_.load(std::memory_order_relaxed);
+  snap.steals = steals_.load(std::memory_order_relaxed);
+  snap.idle_sleeps = idle_sleeps_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+bool BackgroundPool::BeginWork(Source* src) {
+  src->active.fetch_add(1);  // seq_cst: see Detach
+  if (src->detached.load()) {
+    EndWork(src);
+    return false;
+  }
+  return true;
+}
+
+void BackgroundPool::EndWork(Source* src) {
+  if (src->active.fetch_sub(1) == 1 && src->detached.load()) {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+}
+
+BackgroundPool::RoundResult BackgroundPool::RunOneRound() {
+  std::vector<std::shared_ptr<Source>> local;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    local = sources_;
+  }
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  if (local.empty()) return RoundResult::kIdle;
+
+  const size_t n = local.size();
+
+  // Queue depths drive the two off-turn policies (boost and steal). Scan
+  // sources have no measurable backlog and count as depth 0: they are
+  // served on their round-robin turns only. Every dereference of a
+  // source's queue must sit inside the BeginWork/EndWork handshake — a
+  // shard whose Detach() has returned may already have destroyed it.
+  auto queue_depth = [this](Source* s) -> size_t {
+    size_t d = 0;
+    if (s->queue != nullptr && BeginWork(s)) {
+      d = s->queue->Size();
+      EndWork(s);
+    }
+    return d;
+  };
+  size_t deepest = 0;
+  size_t max_depth = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t d = queue_depth(local[i].get());
+    if (d > max_depth) {
+      max_depth = d;
+      deepest = i;
+    }
+  }
+
+  // Boost turns draw from their own tick stream and do NOT consume a
+  // round-robin turn (rr_ only advances on non-boost turns). Tying both
+  // to one counter starves shards whose index is congruent to the boost
+  // phase whenever boost_period divides the shard count — e.g. with the
+  // defaults (period 4, 16 shards) every turn of shards 0/4/8/12 would
+  // be boost-eligible and lost to any persistently deeper queue.
+  const uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  const bool boost_turn =
+      options_.boost_period > 0 &&
+      tick % static_cast<uint64_t>(options_.boost_period) == 0;
+  size_t pick;
+  bool off_turn = false;
+  if (boost_turn && max_depth > 0) {
+    pick = deepest;
+    off_turn = true;
+    boosts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    pick = static_cast<size_t>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                               n);
+    if (local[pick]->queue != nullptr && max_depth > 0 &&
+        queue_depth(local[pick].get()) == 0) {
+      pick = deepest;
+      off_turn = true;
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Source* src = local[pick].get();
+  if (!BeginWork(src)) return RoundResult::kYield;  // detached in flight
+  RoundResult result = RoundResult::kIdle;
+  if (src->queue != nullptr) {
+    // Drain a small batch per pick: one scheduling round (registry
+    // snapshot + depth scan) amortizes over several tasks, while the
+    // batch bound keeps the fairness granularity — a cold shard waits at
+    // most kDrainBatch tasks for its turn.
+    // Counter discipline: pool-wide totals are incremented BEFORE the
+    // per-shard slice, the slice increment is a release, and Stats()
+    // acquire-reads slices before loading totals — so a snapshot's
+    // totals always cover its slices, even on weakly-ordered hardware.
+    bool drained_any = false;
+    for (int b = 0; b < kDrainBatch; ++b) {
+      const QueueCompressor::Outcome outcome = src->drainer->CompressOne();
+      if (outcome == QueueCompressor::Outcome::kQueueEmpty) break;
+      drained_any = true;
+      tasks_drained_.fetch_add(1, std::memory_order_relaxed);
+      src->tasks_drained.fetch_add(1, std::memory_order_release);
+      src->tree->stats()->Add(StatId::kPoolTasksDrained);
+      if (outcome == QueueCompressor::Outcome::kRestructured) {
+        restructures_.fetch_add(1, std::memory_order_relaxed);
+        src->restructures.fetch_add(1, std::memory_order_release);
+      }
+      if (outcome == QueueCompressor::Outcome::kRequeued) {
+        src->requeues.fetch_add(1, std::memory_order_relaxed);
+        result = RoundResult::kYield;
+        break;  // let the requeued entry settle before retrying
+      }
+      result = RoundResult::kWorked;
+    }
+    // Boosts/steals count scheduling decisions (off-turn PICKS), not
+    // tasks — one per pick that found work, matching the pool-wide
+    // boosts_/steals_ counters and the rebalancer's hot-shard signal.
+    if (off_turn && drained_any) {
+      src->boosts.fetch_add(1, std::memory_order_relaxed);
+      src->tree->stats()->Add(StatId::kPoolBoosts);
+    }
+  } else {
+    const size_t work = src->scanner->FullPass();
+    if (work > 0) {
+      tasks_drained_.fetch_add(1, std::memory_order_relaxed);
+      restructures_.fetch_add(work, std::memory_order_relaxed);
+      src->tasks_drained.fetch_add(1, std::memory_order_release);
+      src->restructures.fetch_add(work, std::memory_order_release);
+      src->tree->stats()->Add(StatId::kPoolTasksDrained);
+      result = RoundResult::kWorked;
+    }
+  }
+  EndWork(src);
+  // "No worker idles while work exists": a turn that found nothing (an
+  // idle scan source, or a queue that raced to empty) must not sleep when
+  // the depth scan saw backlog elsewhere — reschedule immediately so the
+  // next round boosts/steals to it.
+  if (result == RoundResult::kIdle && max_depth > 0) {
+    result = RoundResult::kYield;
+  }
+  return result;
+}
+
+void BackgroundPool::WorkerLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Captured before the round: an Attach after this point changes the
+    // generation and aborts the idle wait below, so a newly attached busy
+    // shard is never stuck behind a full idle_sleep timeout.
+    const uint64_t gen = wake_gen_.load(std::memory_order_relaxed);
+    switch (RunOneRound()) {
+      case RoundResult::kWorked:
+        break;
+      case RoundResult::kYield:
+        std::this_thread::yield();
+        break;
+      case RoundResult::kIdle: {
+        idle_sleeps_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        wake_cv_.wait_for(lk, options_.idle_sleep, [this, gen]() {
+          return stop_.load(std::memory_order_acquire) ||
+                 wake_gen_.load(std::memory_order_relaxed) != gen;
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace obtree

@@ -1,0 +1,171 @@
+// Copyright 2026 The obtree Authors.
+//
+// BackgroundPool: a fixed-size, machine-sized worker pool that performs
+// compression for many trees at once. Section 5.4's point is that
+// compression is decoupled from the operation path, so "a small number of
+// background processes" can serve an arbitrarily large structure; this
+// class realizes that for the sharded deployment. Instead of every
+// ConcurrentMap spawning its own compression_threads workers (N shards =>
+// N x threads, oversubscribing cores exactly when shard counts grow), one
+// pool sized to the machine drains every shard's CompressionQueue.
+//
+//   shard 0 queue ---+
+//   shard 1 queue ---+--> [ worker ] [ worker ] ... (pool_threads total)
+//   shard N queue ---+      round-robin + depth boost
+//
+// Scheduling is round-robin across the attached shards for fairness, with
+// two depth-driven exceptions:
+//   * boost: every boost_period-th scheduling turn serves the deepest
+//     queue, so a hot shard gets extra attention proportional to the
+//     pool's round rate. Boost turns are drawn from a separate tick
+//     stream and do not consume round-robin turns — the rotation cursor
+//     only advances on non-boost turns, so every shard's slot always
+//     comes around regardless of how shard count and boost period align;
+//   * steal: a round-robin turn that lands on an empty queue redirects to
+//     the deepest non-empty queue, so no worker idles while work exists.
+// Cold shards keep their round-robin turns in both cases, so a hot shard
+// can never starve them. Workers sleep when every queue is empty.
+//
+// Attach/Detach are thread-safe and callable while the pool runs. Detach
+// is idempotent and blocks until no worker is touching the shard, which
+// makes it safe to call from a map destructor before the tree dies.
+
+#ifndef OBTREE_CORE_BACKGROUND_POOL_H_
+#define OBTREE_CORE_BACKGROUND_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obtree/util/common.h"
+#include "obtree/util/stats.h"
+
+namespace obtree {
+
+class CompressionQueue;
+class QueueCompressor;
+class SagivTree;
+class ScanCompressor;
+
+/// Shared background-maintenance worker pool (see file comment).
+class BackgroundPool {
+ public:
+  struct Options {
+    /// Worker count. <= 0 selects DefaultThreadCount(): the
+    /// OBTREE_POOL_THREADS environment variable if set, otherwise a
+    /// hardware_concurrency-derived maintenance share of the machine.
+    int threads = 0;
+
+    /// How long a worker sleeps after a round that found no work.
+    std::chrono::milliseconds idle_sleep{1};
+
+    /// Every boost_period-th scheduling turn serves the deepest queue;
+    /// these turns are extra — they do not consume round-robin turns
+    /// (0 disables boosting).
+    int boost_period = 4;
+  };
+
+  /// Thread count used when Options::threads <= 0 (env override first).
+  static int DefaultThreadCount();
+
+  BackgroundPool();  // all-default Options
+  explicit BackgroundPool(const Options& options);
+
+  /// Stops and joins all workers (equivalent to Stop()).
+  ~BackgroundPool();
+  OBTREE_DISALLOW_COPY_AND_ASSIGN(BackgroundPool);
+
+  /// Attach a shard. With a queue, pool workers drain it with a
+  /// QueueCompressor (Section 5.4 deployment (2), shared across trees);
+  /// with queue == nullptr the tree is maintained by periodic full-tree
+  /// scan passes instead (Sections 5.1-5.2). Neither pointer is owned;
+  /// both must stay valid until Detach(handle) returns. Thread-safe.
+  uint64_t Attach(SagivTree* tree, CompressionQueue* queue);
+
+  /// Detach a shard. Blocks until no worker is processing it, so the
+  /// caller may destroy the tree/queue immediately afterwards. Idempotent:
+  /// unknown or already-detached handles are ignored. Thread-safe.
+  void Detach(uint64_t handle);
+
+  /// Stop and join all workers. Idempotent. Attached shards stay
+  /// registered (Detach still works) but receive no further service.
+  void Stop();
+
+  int thread_count() const { return threads_started_; }
+  size_t num_sources() const;
+
+  /// Point-in-time counters (monotone while the pool lives).
+  PoolStatsSnapshot Stats() const;
+
+ private:
+  /// One attached shard. Kept alive by shared_ptr until the last worker
+  /// snapshot drops it; `active`/`detached` implement the Detach handshake
+  /// (the pointers in here are only dereferenced between a successful
+  /// BeginWork and the matching EndWork).
+  struct Source {
+    uint64_t handle = 0;
+    SagivTree* tree = nullptr;
+    CompressionQueue* queue = nullptr;          // null => scan maintenance
+    std::unique_ptr<QueueCompressor> drainer;   // stateless; shared by workers
+    std::unique_ptr<ScanCompressor> scanner;    // stateless; shared by workers
+    std::atomic<int> active{0};
+    std::atomic<bool> detached{false};
+    std::atomic<uint64_t> tasks_drained{0};
+    std::atomic<uint64_t> restructures{0};
+    std::atomic<uint64_t> requeues{0};
+    std::atomic<uint64_t> boosts{0};
+  };
+
+  enum class RoundResult { kWorked, kYield, kIdle };
+
+  /// Tasks drained from one queue per scheduling round (amortizes the
+  /// registry snapshot + depth scan while bounding how long a cold shard
+  /// waits for its round-robin turn).
+  static constexpr int kDrainBatch = 8;
+
+  void WorkerLoop();
+  RoundResult RunOneRound();
+
+  /// active++ unless the source is detached; returns false without side
+  /// effects visible to Detach if it is.
+  bool BeginWork(Source* src);
+  void EndWork(Source* src);
+
+  Options options_;
+  int threads_started_ = 0;
+
+  mutable std::mutex mu_;                        // guards sources_, next_handle_
+  std::vector<std::shared_ptr<Source>> sources_;
+  uint64_t next_handle_ = 1;
+
+  std::mutex wake_mu_;                           // idle sleep + detach waits
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  /// Bumped by Attach so idle workers wake for the new shard instead of
+  /// sleeping out their timeout (each worker captures the generation
+  /// before its scheduling round; the idle wait aborts on a change).
+  std::atomic<uint64_t> wake_gen_{0};
+  /// Round-robin cursor: advances only on NON-boost turns, so boost turns
+  /// never consume (and thus can never starve) a shard's rotation slot.
+  std::atomic<uint64_t> rr_{0};
+  std::atomic<uint64_t> tick_{0};                // boost-phase stream
+
+  // Pool-wide counters (per-shard ones live in Source).
+  std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> tasks_drained_{0};
+  std::atomic<uint64_t> restructures_{0};
+  std::atomic<uint64_t> boosts_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> idle_sleeps_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_CORE_BACKGROUND_POOL_H_

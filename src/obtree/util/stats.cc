@@ -34,6 +34,8 @@ const char* StatName(StatId id) {
     case StatId::kQueueEnqueues: return "queue_enqueues";
     case StatId::kQueueRequeues: return "queue_requeues";
     case StatId::kQueueDiscards: return "queue_discards";
+    case StatId::kPoolTasksDrained: return "pool_tasks_drained";
+    case StatId::kPoolBoosts: return "pool_boosts";
     case StatId::kSearches: return "searches";
     case StatId::kInserts: return "inserts";
     case StatId::kDeletes: return "deletes";
@@ -66,6 +68,32 @@ std::string StatsSnapshot::ToString() const {
   std::snprintf(line, sizeof(line), "  %-22s %llu\n", "max_locks_held",
                 static_cast<unsigned long long>(max_locks_held));
   out += line;
+  return out;
+}
+
+std::string PoolStatsSnapshot::ToString() const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "  pool: %d threads, %llu rounds, %llu drained, "
+                "%llu restructures, %llu boosts, %llu steals, idle %.2f\n",
+                threads, static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(tasks_drained),
+                static_cast<unsigned long long>(restructures),
+                static_cast<unsigned long long>(boosts),
+                static_cast<unsigned long long>(steals), IdleRatio());
+  out += line;
+  for (const PoolShardStats& s : shards) {
+    std::snprintf(line, sizeof(line),
+                  "  shard #%llu: drained %llu, restructures %llu, "
+                  "requeues %llu, boosts %llu\n",
+                  static_cast<unsigned long long>(s.handle),
+                  static_cast<unsigned long long>(s.tasks_drained),
+                  static_cast<unsigned long long>(s.restructures),
+                  static_cast<unsigned long long>(s.requeues),
+                  static_cast<unsigned long long>(s.boosts));
+    out += line;
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obtree/util/common.h"
 
@@ -51,6 +52,10 @@ enum class StatId : int {
   kQueueEnqueues,        ///< compression queue pushes
   kQueueRequeues,        ///< nodes put back on the queue
   kQueueDiscards,        ///< queue entries discarded as stale
+  kPoolTasksDrained,     ///< queue entries this tree had drained for it by
+                         ///< a shared BackgroundPool worker
+  kPoolBoosts,           ///< pool picks of this tree that bypassed the
+                         ///< round-robin order (depth boost or work steal)
   kSearches,             ///< logical search operations
   kInserts,              ///< logical insert operations
   kDeletes,              ///< logical delete operations
@@ -75,6 +80,40 @@ struct StatsSnapshot {
   StatsSnapshot Delta(const StatsSnapshot& earlier) const;
 
   /// Multi-line rendering of the non-zero counters.
+  std::string ToString() const;
+};
+
+/// Per-attached-shard slice of a BackgroundPool stats snapshot
+/// (core/background_pool.h). `handle` is the value Attach returned.
+struct PoolShardStats {
+  uint64_t handle = 0;
+  uint64_t tasks_drained = 0;  ///< queue entries processed for this shard
+  uint64_t restructures = 0;   ///< merges/redistributions/root collapses
+  uint64_t requeues = 0;       ///< entries put back for a later visit
+  uint64_t boosts = 0;         ///< off-turn picks (depth boost / steal)
+};
+
+/// Point-in-time counters of a BackgroundPool: how a machine-sized worker
+/// set divided its attention across the attached shards.
+struct PoolStatsSnapshot {
+  int threads = 0;             ///< workers the pool runs
+  uint64_t rounds = 0;         ///< scheduling rounds across all workers
+  uint64_t tasks_drained = 0;  ///< queue entries processed (all outcomes)
+  uint64_t restructures = 0;   ///< merges/redistributions/root collapses
+  uint64_t boosts = 0;         ///< periodic deepest-queue priority picks
+  uint64_t steals = 0;         ///< empty round-robin turns redirected to
+                               ///< the deepest non-empty queue
+  uint64_t idle_sleeps = 0;    ///< rounds that found no work and slept
+  std::vector<PoolShardStats> shards;  ///< attach order of live shards
+
+  /// Fraction of scheduling rounds that went to sleep instead of working.
+  double IdleRatio() const {
+    return rounds > 0
+               ? static_cast<double>(idle_sleeps) / static_cast<double>(rounds)
+               : 0.0;
+  }
+
+  /// Multi-line rendering (pool-wide counters + one line per shard).
   std::string ToString() const;
 };
 

@@ -2,11 +2,13 @@
 
 #include "obtree/api/concurrent_map.h"
 
+#include <memory>
 #include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "obtree/core/background_pool.h"
 #include "obtree/core/tree_checker.h"
 #include "obtree/util/random.h"
 
@@ -198,6 +200,40 @@ TEST(CursorTest, SurvivesConcurrentDeletes) {
   }
   deleter.join();
   EXPECT_EQ(odd_seen, 2000u);  // every stable key delivered exactly once
+}
+
+TEST(ConcurrentMapTest, AttachesToExternalBackgroundPool) {
+  // Two maps share one pool; neither spawns threads of its own. One map
+  // dies mid-traffic (the detach-before-teardown path) and the survivor
+  // keeps being served.
+  BackgroundPool::Options pool_options;
+  pool_options.threads = 2;
+  BackgroundPool pool(pool_options);
+  auto doomed = std::make_unique<ConcurrentMap>(
+      SmallNodes(CompressionMode::kQueueWorkers), &pool);
+  ConcurrentMap survivor(SmallNodes(CompressionMode::kQueueWorkers), &pool);
+  EXPECT_EQ(doomed->background_thread_count(), 0);
+  EXPECT_EQ(survivor.background_thread_count(), 0);
+  EXPECT_EQ(survivor.attached_pool(), &pool);
+  EXPECT_EQ(pool.num_sources(), 2u);
+
+  for (Key k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(doomed->Insert(k, k).ok());
+    ASSERT_TRUE(survivor.Insert(k, k).ok());
+  }
+  for (Key k = 1; k <= 2000; ++k) ASSERT_TRUE(doomed->Erase(k).ok());
+  doomed.reset();  // detaches; pool workers must never touch it again
+  EXPECT_EQ(pool.num_sources(), 1u);
+
+  for (Key k = 1; k <= 2000; ++k) ASSERT_TRUE(survivor.Erase(k).ok());
+  survivor.CompressNow();
+  EXPECT_LE(survivor.Height(), 2u);
+  EXPECT_TRUE(survivor.ValidateStructure().ok());
+  // A scan-maintained map can share the same pool (queue-less source).
+  ConcurrentMap scanned(SmallNodes(CompressionMode::kBackgroundScan), &pool);
+  EXPECT_EQ(scanned.background_thread_count(), 0);
+  for (Key k = 1; k <= 500; ++k) ASSERT_TRUE(scanned.Insert(k, k).ok());
+  EXPECT_TRUE(scanned.ValidateStructure().ok());
 }
 
 TEST(ConcurrentMapTest, StatsExposed) {

@@ -9,12 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.h"
+#include "obtree/core/background_pool.h"
 #include "obtree/core/tree_checker.h"
 #include "obtree/util/random.h"
 #include "obtree/workload/driver.h"
 
 namespace obtree {
 namespace {
+
+using testutil::LiveThreadCount;
 
 ShardOptions SmallShards(uint32_t num_shards, Key key_space_hint,
                          CompressionMode mode = CompressionMode::kNone,
@@ -323,6 +327,88 @@ TEST(ShardedMapTest, HugeKeySpaceHintDoesNotOverflowRouting) {
   EXPECT_EQ(*map.Get(kMaxUserKey), 9u);
   EXPECT_EQ(map.shard(0)->Size(), 1u);
   EXPECT_EQ(map.shard(3)->Size(), 1u);
+}
+
+TEST(ShardedMapTest, SharedPoolBoundsBackgroundThreads) {
+  // The headline scaling property: background maintenance threads stay at
+  // pool_threads no matter how many shards exist. 16 shards x 1 worker
+  // would be 16 threads in the old topology; the shared pool runs 4.
+  const int baseline = LiveThreadCount();
+  {
+    ShardOptions opt =
+        SmallShards(16, 16'000, CompressionMode::kQueueWorkers);
+    opt.pool_threads = 4;
+    ShardedMap map(opt);
+    ASSERT_TRUE(map.init_status().ok());
+    ASSERT_NE(map.pool(), nullptr);
+    EXPECT_EQ(map.pool()->thread_count(), 4);
+    EXPECT_EQ(map.background_thread_count(), 4);
+    EXPECT_EQ(map.pool()->num_sources(), 16u);
+    for (uint32_t s = 0; s < map.num_shards(); ++s) {
+      EXPECT_EQ(map.shard(s)->background_thread_count(), 0) << "shard " << s;
+      EXPECT_EQ(map.shard(s)->attached_pool(), map.pool());
+    }
+    if (baseline > 0) {
+      EXPECT_EQ(LiveThreadCount(), baseline + 4);
+    }
+
+    // The pool actually maintains the shards: churn, then wait for queues
+    // to drain and heights to collapse.
+    for (Key k = 1; k <= 16'000; ++k) ASSERT_TRUE(map.Insert(k, k).ok());
+    for (Key k = 1; k <= 16'000; ++k) ASSERT_TRUE(map.Erase(k).ok());
+    map.CompressNow();
+    EXPECT_LE(map.Height(), 2u);
+    EXPECT_TRUE(map.ValidateStructure().ok());
+
+    // Quiesce before comparing drain counters: a pool worker finishing an
+    // in-flight task between the two snapshots would skew an immediate
+    // equality check. Once the counters are stable across a sleep, the
+    // pool-wide total and the per-tree attribution must agree.
+    testutil::WaitForStableCounter(
+        [&]() { return map.PoolStats().tasks_drained; },
+        [&]() {
+          return map.Stats().Get(StatId::kPoolTasksDrained) ==
+                 map.PoolStats().tasks_drained;
+        });
+    const PoolStatsSnapshot pool_stats = map.PoolStats();
+    EXPECT_EQ(pool_stats.threads, 4);
+    EXPECT_GT(pool_stats.rounds, 0u);
+    EXPECT_EQ(pool_stats.shards.size(), 16u);
+    // Per-shard drain counters surface through the aggregated Stats too.
+    EXPECT_EQ(map.Stats().Get(StatId::kPoolTasksDrained),
+              pool_stats.tasks_drained);
+  }
+  // Shards detached and the pool joined its workers on destruction.
+  if (baseline > 0) {
+    EXPECT_EQ(LiveThreadCount(), baseline);
+  }
+}
+
+TEST(ShardedMapTest, PerShardWorkersFallbackSpawnsPerShardThreads) {
+  ShardOptions opt = SmallShards(8, 8'000, CompressionMode::kQueueWorkers);
+  opt.per_shard_workers = true;
+  opt.compression_threads_per_shard = 1;
+  ShardedMap map(opt);
+  ASSERT_TRUE(map.init_status().ok());
+  EXPECT_EQ(map.pool(), nullptr);
+  EXPECT_EQ(map.background_thread_count(), 8);  // grows with num_shards
+  EXPECT_EQ(map.PoolStats().threads, 0);
+  for (Key k = 1; k <= 4'000; ++k) ASSERT_TRUE(map.Insert(k, k).ok());
+  for (Key k = 1; k <= 4'000; ++k) ASSERT_TRUE(map.Erase(k).ok());
+  map.CompressNow();
+  EXPECT_TRUE(map.ValidateStructure().ok());
+}
+
+TEST(ShardedMapTest, PoolOptionsValidate) {
+  ShardOptions opt;
+  opt.pool_threads = -1;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.pool_threads = 0;
+  EXPECT_TRUE(opt.Validate().ok());
+  // Compression off => no pool at all.
+  ShardedMap none(SmallShards(4, 1000, CompressionMode::kNone));
+  EXPECT_EQ(none.pool(), nullptr);
+  EXPECT_EQ(none.background_thread_count(), 0);
 }
 
 TEST(ShardedMapTest, SingleShardDegeneratesToOneTree) {
