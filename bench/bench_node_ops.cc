@@ -164,6 +164,75 @@ void BM_PagePut(benchmark::State& state) {
 }
 BENCHMARK(BM_PagePut);
 
+// The PR 4 tentpole comparison at node granularity: one copy-mutation
+// (Get 4 KB out + edit + Put 4 KB back) vs one in-place mutation under
+// the seqlock (WriteGuard bracket + shifted-entry atomic stores only).
+// Both alternate insert/remove of the same key so node occupancy is
+// stable across iterations.
+void BM_PageCopyMutate(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  Node* n = w.As<Node>();
+  n->Init(0, 0, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < 128; ++i) {
+    n->entries[i] = Entry{static_cast<Key>(i) * 10 + 10, i};
+  }
+  n->count = 128;
+  pm.Put(id, w);
+  Page r;
+  bool present = false;
+  for (auto _ : state) {
+    pm.Lock(id);
+    pm.Get(id, &r);
+    Node* node = r.As<Node>();
+    if (present) {
+      node->RemoveLeafEntry(5);
+    } else {
+      node->InsertLeafEntry(5, 5);
+    }
+    present = !present;
+    pm.Put(id, r);
+    pm.Unlock(id);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * kPageSize));
+}
+BENCHMARK(BM_PageCopyMutate);
+
+void BM_PageInplaceMutate(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  Node* n = w.As<Node>();
+  n->Init(0, 0, kPlusInfinity, kInvalidPageId);
+  for (uint32_t i = 0; i < 128; ++i) {
+    n->entries[i] = Entry{static_cast<Key>(i) * 10 + 10, i};
+  }
+  n->count = 128;
+  pm.Put(id, w);
+  bool present = false;
+  for (auto _ : state) {
+    pm.Lock(id);
+    PageManager::WriteGuard wg = pm.BeginWrite(id);
+    Node* node = wg.page()->As<Node>();
+    if (present) {
+      benchmark::DoNotOptimize(
+          node->RemoveLeafEntryAtInPlace(node->LowerBound(5)));
+    } else {
+      benchmark::DoNotOptimize(node->InsertLeafEntryInPlace(5, 5));
+    }
+    present = !present;
+    wg.Release();
+    pm.Unlock(id);
+  }
+}
+BENCHMARK(BM_PageInplaceMutate);
+
 void BM_PaperLockUncontended(benchmark::State& state) {
   EpochManager epoch;
   StatsCollector stats;

@@ -12,6 +12,11 @@
 // in-place read path (the default). This is the PR 2 tentpole measured,
 // not asserted.
 //
+// E2d — copy-writes vs in-place writes on the Sagiv tree: a write-heavy
+// workload with every mutation doing the full Get + Put page copy cycle
+// (inplace_writes = false) against the seqlock-bracketed in-place
+// mutation path (the default), which stores only the shifted entries.
+//
 // Rows: thread counts. Columns: Kops/s per tree. One table per mix.
 //
 // Flags: --quick shrinks every cell ~10x (CI smoke). Every cell is also
@@ -50,7 +55,8 @@ void Record(const std::string& config, int threads, double kops) {
   Samples().push_back(JsonSample{config, threads, kops});
 }
 
-void WriteJson(const char* path, bool quick, double read_path_speedup_1t) {
+void WriteJson(const char* path, bool quick, double read_path_speedup_1t,
+               double write_path_speedup_1t, double mixed_scaling_4t_over_1t) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -61,6 +67,14 @@ void WriteJson(const char* path, bool quick, double read_path_speedup_1t) {
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"read_path_speedup_1t\": %.3f,\n",
                read_path_speedup_1t);
+  std::fprintf(f, "  \"write_path_speedup_1t\": %.3f,\n",
+               write_path_speedup_1t);
+  // Single-tree mixed(50/25/25) in-memory scaling, 4 threads over 1: the
+  // known regression PR 4 started chipping at (copy traffic was the write
+  // bottleneck; lock/root contention remains). Recorded so the next PR
+  // can gate on it; < 1.0 means 4 threads are SLOWER than 1 on one tree.
+  std::fprintf(f, "  \"mixed_scaling_4t_over_1t\": %.3f,\n",
+               mixed_scaling_4t_over_1t);
   std::fprintf(f, "  \"configs\": [\n");
   const std::vector<JsonSample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -197,6 +211,98 @@ double RunReadPathComparison(bool quick) {
   return speedup_1t;
 }
 
+// ------------------------------------------------------------------- E2d
+
+WorkloadSpec WritePathSpec(Key key_space) {
+  WorkloadSpec spec;
+  spec.search_pct = 0.10;
+  spec.insert_pct = 0.45;
+  spec.delete_pct = 0.45;
+  spec.scan_pct = 0.0;
+  spec.name = "write-heavy(10/45/45)";
+  spec.key_space = key_space;
+  spec.preload = key_space / 2;
+  return spec;
+}
+
+DriverResult WritePathRun(bool inplace, int threads, uint64_t ops_per_thread,
+                          Key key_space) {
+  TreeOptions options;
+  options.min_entries = 32;
+  options.inplace_writes = inplace;
+  SagivTree tree(options);
+  const WorkloadSpec spec = WritePathSpec(key_space);
+  PreloadTree(&tree, spec, 4);
+  return RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/11);
+}
+
+double RunWritePathComparison(bool quick) {
+  PrintBanner(
+      "E2d: copy-writes vs in-place writes, Sagiv tree",
+      "the copy path moves >= 8 KB per mutation (full-page Get under the "
+      "lock + full-page Put back) to change one slot; the in-place path "
+      "mutates the live page under the paper lock, bracketed by seqlock "
+      "odd/even bumps, storing only the shifted entries. inplace/copy is "
+      "the write-path win; ip-writes/op counts mutations served in place");
+  const Key key_space = 200'000;
+  const uint64_t ops = quick ? 30'000 : 200'000;
+  const std::string workload = WritePathSpec(key_space).name;
+  std::printf("workload: %s, %llu ops/thread, %llu preloaded keys\n",
+              workload.c_str(), static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(key_space / 2));
+  Table table({"threads", "copy", "inplace", "inplace/copy", "ip-writes/op",
+               "fallbacks"});
+  double speedup_1t = 0.0;
+  for (int threads : {1, 2, 4}) {
+    const DriverResult copy = WritePathRun(false, threads, ops, key_space);
+    const DriverResult inplace = WritePathRun(true, threads, ops, key_space);
+    const double copy_kops = copy.MopsPerSec() * 1000.0;
+    const double inplace_kops = inplace.MopsPerSec() * 1000.0;
+    Record(workload + "/copy", threads, copy_kops);
+    Record(workload + "/inplace", threads, inplace_kops);
+    if (threads == 1 && copy_kops > 0) speedup_1t = inplace_kops / copy_kops;
+    const double ip_per_op =
+        static_cast<double>(inplace.stats.Get(StatId::kInplaceWrites)) /
+        static_cast<double>(inplace.total_ops);
+    table.AddRow({Fmt(static_cast<uint64_t>(threads)), Fmt(copy_kops),
+                  Fmt(inplace_kops), FmtRatio(inplace_kops, copy_kops),
+                  Fmt(ip_per_op, 4),
+                  Fmt(inplace.stats.Get(StatId::kInplaceFallbacks))});
+  }
+  table.Print();
+  std::printf("(cells are Kops/s; higher is better)\n\n");
+  return speedup_1t;
+}
+
+// The 1->4 thread single-tree regression cell: mixed(50/25/25) in-memory
+// on ONE Sagiv tree. BENCH_sharding.json first exposed this (2.18M ops/s
+// at 1 thread -> 1.28M at 4 on the seed write path); the ratio is
+// recorded in BENCH_throughput.json so the next PR can gate on it.
+double MeasureMixedScaling(uint64_t ops_per_thread, Key key_space) {
+  WorkloadSpec spec = WorkloadSpec::Mixed5050();
+  spec.key_space = key_space;
+  spec.preload = key_space / 2;
+  double kops_1t = 0.0;
+  double kops_4t = 0.0;
+  for (int threads : {1, 4}) {
+    TreeOptions options;
+    options.min_entries = 32;
+    SagivTree tree(options);
+    PreloadTree(&tree, spec, 4);
+    const DriverResult r =
+        RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/13);
+    (threads == 1 ? kops_1t : kops_4t) = r.MopsPerSec() * 1000.0;
+    Record("mixed-single-tree/sagiv-inplace", threads,
+           r.MopsPerSec() * 1000.0);
+  }
+  const double ratio = kops_1t > 0 ? kops_4t / kops_1t : 0.0;
+  std::printf(
+      "single-tree mixed scaling: %.0f Kops/s @1t -> %.0f Kops/s @4t "
+      "(4t/1t = %.2fx)\n\n",
+      kops_1t, kops_4t, ratio);
+  return ratio;
+}
+
 }  // namespace
 }  // namespace obtree
 
@@ -209,6 +315,9 @@ int main(int argc, char** argv) {
   const Key key_space = quick ? 40'000 : 400'000;
 
   const double speedup_1t = RunReadPathComparison(quick);
+  const double write_speedup_1t = RunWritePathComparison(quick);
+  const double mixed_scaling =
+      MeasureMixedScaling(quick ? 20'000 : 150'000, quick ? 40'000 : 400'000);
 
   PrintBanner(
       "E2a: throughput, in-memory regime (io=0)",
@@ -241,6 +350,7 @@ int main(int argc, char** argv) {
   zipf.name = "mixed-zipf(50/25/25,theta=.99)";
   RunMix(zipf, io_threads, io_ns, io_ops, key_space);
 
-  WriteJson("BENCH_throughput.json", quick, speedup_1t);
+  WriteJson("BENCH_throughput.json", quick, speedup_1t, write_speedup_1t,
+            mixed_scaling);
   return 0;
 }

@@ -65,6 +65,20 @@ struct TreeOptions {
   /// tail latency when a node is rewritten continuously.
   int optimistic_retry_limit = 8;
 
+  /// When true (default), the no-split/no-merge mutation hot path — an
+  /// Insert landing in a non-full node, a Delete removing from a leaf —
+  /// mutates the live page in place under the paper lock, bracketed by
+  /// seqlock odd/even bumps (PageManager::BeginWrite), instead of copying
+  /// the full 4 KB page out and back (>= 8 KB of memory traffic to change
+  /// one slot). The paper lock makes the writer the sole mutator; the
+  /// seqlock keeps optimistic readers safe (they discard anything read
+  /// under an odd or moved version). Splits, root changes, Rearrange, and
+  /// the compressors keep copy semantics regardless. An operation whose
+  /// locked in-place inspection cannot validate (a racing page reuse)
+  /// falls back to the copy path for that operation
+  /// (StatId::kInplaceFallbacks).
+  bool inplace_writes = true;
+
   /// Simulated block-device latency per page get/put, in nanoseconds
   /// (0 = pure in-memory). The paper's nodes live on secondary storage;
   /// enabling this reproduces the I/O-bound regime its concurrency

@@ -79,6 +79,21 @@ Route RouteForKey(const NodeView& view, Key key, uint32_t target_level) {
   return r;
 }
 
+// The restart cause a Route restart kind charges (shared by the three
+// route dispatchers: the optimistic descents and the in-place acquire).
+SagivTree::RestartCause CauseFor(Route::Kind kind) {
+  switch (kind) {
+    case Route::kRestartStale:
+      return SagivTree::RestartCause::kStaleNode;
+    case Route::kRestartRightmost:
+      return SagivTree::RestartCause::kRightmostStale;
+    case Route::kRestartNoMergeTarget:
+      return SagivTree::RestartCause::kMissingMergeTarget;
+    default:
+      return SagivTree::RestartCause::kNone;
+  }
+}
+
 // Per-thread scratch shared by the read paths: the optimistic scan's
 // harvest buffer and the copy fallback's page image. One instance per
 // thread instead of per call; the in_use flag hands reentrant calls (a
@@ -103,6 +118,36 @@ class TlReadBuffersLease {
 
  private:
   bool claimed_;
+};
+
+// Per-thread descent stack shared by Insert/Delete: the movedown stack
+// was a heap allocation on every mutation otherwise. Same reentrancy
+// discipline as TlReadBuffers — a nested mutation (e.g. an Insert issued
+// from a Scan visitor) gets a plain local vector instead.
+struct TlWriteBuffers {
+  std::vector<PageId> stack;
+  bool in_use = false;
+};
+thread_local TlWriteBuffers tl_write_buffers;
+
+// Hands out the thread-local descent stack (cleared) if free, else the
+// caller-provided fallback.
+class TlStackLease {
+ public:
+  explicit TlStackLease(std::vector<PageId>* fallback)
+      : claimed_(!tl_write_buffers.in_use),
+        stack_(claimed_ ? &tl_write_buffers.stack : fallback) {
+    if (claimed_) tl_write_buffers.in_use = true;
+    stack_->clear();
+  }
+  ~TlStackLease() {
+    if (claimed_) tl_write_buffers.in_use = false;
+  }
+  std::vector<PageId>* stack() const { return stack_; }
+
+ private:
+  bool claimed_;
+  std::vector<PageId>* stack_;
 };
 
 }  // namespace
@@ -236,15 +281,9 @@ Result<PageId> SagivTree::OptimisticFindNodeAtLevel(
           current = route.next;
           break;
         case Route::kRestartStale:
-          cause = RestartCause::kStaleNode;
-          restart = true;
-          break;
         case Route::kRestartRightmost:
-          cause = RestartCause::kRightmostStale;
-          restart = true;
-          break;
         case Route::kRestartNoMergeTarget:
-          cause = RestartCause::kMissingMergeTarget;
+          cause = CauseFor(route.kind);
           restart = true;
           break;
         case Route::kTorn:
@@ -476,15 +515,9 @@ Result<Value> SagivTree::OptimisticSearch(Key key,
           current = route.next;
           break;
         case Route::kRestartStale:
-          cause = RestartCause::kStaleNode;
-          restart = true;
-          break;
         case Route::kRestartRightmost:
-          cause = RestartCause::kRightmostStale;
-          restart = true;
-          break;
         case Route::kRestartNoMergeTarget:
-          cause = RestartCause::kMissingMergeTarget;
+          cause = CauseFor(route.kind);
           restart = true;
           break;
         case Route::kTorn:
@@ -743,6 +776,79 @@ Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
   }
 }
 
+Result<PageId> SagivTree::AcquireTargetInPlace(Key key, uint32_t level,
+                                               PageId start,
+                                               std::vector<PageId>* stack,
+                                               int* restarts,
+                                               const Node** live) const {
+  int failures = 0;
+  PageId current = start;
+  for (int steps = 0;; ++steps) {
+    if (steps > kMaxStepsPerAttempt) {
+      return Status::Internal("moveright did not terminate");
+    }
+    pager_->Lock(current);
+    // Inspect the live page without copying it. The paper lock excludes
+    // every mutator EXCEPT the reuse pipeline of a stale page (Retire ->
+    // Allocate zeroing -> initializing Put run without it), so reads stay
+    // atomic-and-validated until the image proves live; from then on the
+    // lock alone pins the node. Every peek — retries included — counts
+    // as a node access, exactly like the optimistic descents.
+    Route route;
+    const Node* node_image = nullptr;
+    for (;;) {
+      const PageManager::ReadGuard g = pager_->PeekLocked(current);
+      route = Route{};  // kTorn: also covers the unstable-guard case
+      if (g.stable()) {
+        node_image = g.page()->As<Node>();
+        route = RouteForKey(NodeView(node_image), key, level);
+        // Under the lock, a node of a HIGHER level than the target is a
+        // reused page, not a descent point — same restart the copy
+        // acquire takes on node->level != level.
+        if (route.kind == Route::kChild) route.kind = Route::kRestartStale;
+        if (route.kind != Route::kTorn && !g.Validate()) {
+          route.kind = Route::kTorn;
+        }
+      }
+      if (route.kind != Route::kTorn) break;
+      // Only an in-flight page reuse can keep tearing a locked page; it
+      // resolves in a bounded number of bumps, but budget it like the
+      // optimistic read path so a protocol bug cannot spin here.
+      stats_->Add(StatId::kOptimisticRetries);
+      if (++failures > options_.optimistic_retry_limit) {
+        pager_->Unlock(current);
+        return Status::Aborted("in-place write retry budget exhausted");
+      }
+    }
+    switch (route.kind) {
+      case Route::kArrived:
+        *live = node_image;
+        return current;  // locked; *live pinned until Unlock
+      case Route::kLink:
+        pager_->Unlock(current);
+        stats_->Add(StatId::kLinkFollows);
+        current = route.next;
+        continue;
+      case Route::kMerge:
+        pager_->Unlock(current);
+        stats_->Add(StatId::kMergePointerFollows);
+        current = route.next;
+        continue;
+      default:
+        break;  // a restart kind (kChild/kTorn were handled above)
+    }
+    pager_->Unlock(current);
+    const RestartCause cause = CauseFor(route.kind);
+    CountRestart(cause);
+    if (++(*restarts) > options_.max_restarts) {
+      return Status::Internal("too many restarts acquiring target node");
+    }
+    Result<PageId> r = internal_FindNodeAtLevel(key, level, stack);
+    if (!r.ok()) return r.status();
+    current = *r;
+  }
+}
+
 void SagivTree::ApplyInsert(Node* node, Key key, uint64_t down_ptr) {
   if (node->is_leaf()) {
     node->InsertLeafEntry(key, static_cast<Value>(down_ptr));
@@ -759,6 +865,25 @@ void SagivTree::InsertIntoSafe(Page* page, PageId page_id, Key key,
   ApplyInsert(node, key, down_ptr);
   pager_->Put(page_id, *page);
   pager_->Unlock(page_id);
+  stats_->Add(StatId::kWriteBytesCopied, 2 * kPageSize);  // get + put
+  st->completed = true;
+}
+
+void SagivTree::InsertIntoSafeInPlace(PageId page_id, Key key,
+                                      uint64_t down_ptr, AscentState* st) {
+  PageManager::WriteGuard wg = pager_->BeginWrite(page_id);
+  Node* node = wg.page()->As<Node>();
+  size_t bytes;
+  if (node->is_leaf()) {
+    bytes = node->InsertLeafEntryInPlace(key, static_cast<Value>(down_ptr));
+  } else {
+    bytes = node->InsertChildSplitInPlace(key, static_cast<PageId>(down_ptr));
+    assert(bytes > 0);  // separator collision = protocol violation
+  }
+  wg.Release();
+  pager_->Unlock(page_id);
+  stats_->Add(StatId::kInplaceWrites);
+  stats_->Add(StatId::kWriteBytesInplace, bytes);
   st->completed = true;
 }
 
@@ -782,6 +907,7 @@ Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
   pager_->Put(*right_page, right_buf);
   pager_->Put(page_id, *page);
   pager_->Unlock(page_id);
+  stats_->Add(StatId::kWriteBytesCopied, 3 * kPageSize);  // get + 2 puts
 
   st->sep = node->high;
   st->new_child = *right_page;
@@ -838,6 +964,7 @@ Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
   stats_->Add(StatId::kRootCreations);
 
   pager_->Unlock(page_id);
+  stats_->Add(StatId::kWriteBytesCopied, 4 * kPageSize);  // get + 3 puts
   st->completed = true;
   return Status::OK();
 }
@@ -849,7 +976,9 @@ Status SagivTree::Insert(Key key, Value value) {
   stats_->Add(StatId::kInserts);
   EpochManager::Guard guard(epoch_.get());
 
-  std::vector<PageId> stack;
+  std::vector<PageId> local_stack;
+  TlStackLease stack_lease(&local_stack);
+  std::vector<PageId>& stack = *stack_lease.stack();
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
 
@@ -858,28 +987,62 @@ Status SagivTree::Insert(Key key, Value value) {
   uint64_t down_ptr = value;
   uint32_t level = 0;
   int restarts = 0;
+  // In-place mode is per-operation: once a locked inspection exhausts its
+  // validation budget the whole operation falls back to copy semantics.
+  bool inplace = options_.inplace_writes;
   Page page;
   Node* node = page.As<Node>();
 
   for (;;) {  // the "repeat ... until completed" of Fig. 5
-    Result<PageId> target =
-        AcquireTargetNode(ins_key, level, current, &stack, &restarts, &page);
-    if (!target.ok()) return target.status();
-    current = *target;
+    // `view` is the locked node's image: the live page (in-place acquire,
+    // plain reads safe under the lock) or the private copy in `page`.
+    const Node* view = nullptr;
+    bool locked_inplace = false;
+    if (inplace) {
+      Result<PageId> target =
+          AcquireTargetInPlace(ins_key, level, current, &stack, &restarts,
+                               &view);
+      if (target.ok()) {
+        current = *target;
+        locked_inplace = true;
+      } else if (target.status().IsAborted()) {
+        stats_->Add(StatId::kInplaceFallbacks);
+        inplace = false;
+      } else {
+        return target.status();
+      }
+    }
+    if (!locked_inplace) {
+      Result<PageId> target =
+          AcquireTargetNode(ins_key, level, current, &stack, &restarts, &page);
+      if (!target.ok()) return target.status();
+      current = *target;
+      view = node;
+    }
 
-    if (level == 0 && node->FindLeafValue(ins_key).has_value()) {
+    if (level == 0 && view->FindLeafValue(ins_key).has_value()) {
       pager_->Unlock(current);
       return Status::AlreadyExists("key already in the tree");
     }
 
     AscentState st;
-    if (node->count < options_.capacity()) {
-      InsertIntoSafe(&page, current, ins_key, down_ptr, &st);
-    } else if (!node->is_root()) {
-      Status s = InsertIntoUnsafe(&page, current, ins_key, down_ptr, &st);
-      if (!s.ok()) return s;
+    if (view->count < options_.capacity()) {
+      if (locked_inplace) {
+        InsertIntoSafeInPlace(current, ins_key, down_ptr, &st);
+      } else {
+        InsertIntoSafe(&page, current, ins_key, down_ptr, &st);
+      }
     } else {
-      Status s = InsertIntoUnsafeRoot(&page, current, ins_key, down_ptr, &st);
+      if (locked_inplace) {
+        // Splits keep copy semantics: pay the copy-out the in-place
+        // acquire skipped, under the lock we already hold.
+        pager_->Get(current, &page);
+        view = node;
+      }
+      Status s =
+          view->is_root()
+              ? InsertIntoUnsafeRoot(&page, current, ins_key, down_ptr, &st)
+              : InsertIntoUnsafe(&page, current, ins_key, down_ptr, &st);
       if (!s.ok()) return s;
     }
     if (st.completed) {
@@ -929,7 +1092,9 @@ Status SagivTree::Delete(Key key) {
   const bool want_stack =
       options_.enqueue_underfull_on_delete && queue != nullptr;
 
-  std::vector<PageId> stack;
+  std::vector<PageId> local_stack;
+  TlStackLease stack_lease(&local_stack);
+  std::vector<PageId>& stack = *stack_lease.stack();
   Result<PageId> found =
       internal_FindNodeAtLevel(key, 0, want_stack ? &stack : nullptr);
   if (!found.ok()) return found.status();
@@ -937,27 +1102,65 @@ Status SagivTree::Delete(Key key) {
   Page page;
   Node* node = page.As<Node>();
   int restarts = 0;
-  Result<PageId> target = AcquireTargetNode(
-      key, 0, *found, want_stack ? &stack : nullptr, &restarts, &page);
-  if (!target.ok()) return target.status();
-  const PageId leaf = *target;
-
-  if (!node->RemoveLeafEntry(key)) {
-    pager_->Unlock(leaf);
-    return Status::NotFound();
+  // `view` is the locked leaf's image: the live page (in-place mode) or
+  // the private copy in `page`; after the removal it reflects the new
+  // count/high either way.
+  const Node* view = nullptr;
+  bool locked_inplace = false;
+  PageId leaf = kInvalidPageId;
+  if (options_.inplace_writes) {
+    Result<PageId> target = AcquireTargetInPlace(
+        key, 0, *found, want_stack ? &stack : nullptr, &restarts, &view);
+    if (target.ok()) {
+      leaf = *target;
+      locked_inplace = true;
+    } else if (target.status().IsAborted()) {
+      stats_->Add(StatId::kInplaceFallbacks);
+    } else {
+      return target.status();
+    }
   }
-  pager_->Put(leaf, page);
+  if (!locked_inplace) {
+    Result<PageId> target = AcquireTargetNode(
+        key, 0, *found, want_stack ? &stack : nullptr, &restarts, &page);
+    if (!target.ok()) return target.status();
+    leaf = *target;
+    view = node;
+  }
+
+  if (locked_inplace) {
+    // One search serves both the presence check and the removal: the
+    // lock pins the live image, so the index cannot shift in between.
+    const uint32_t idx = view->LowerBound(key);
+    if (idx >= view->count || view->entries[idx].key != key) {
+      pager_->Unlock(leaf);
+      return Status::NotFound();
+    }
+    PageManager::WriteGuard wg = pager_->BeginWrite(leaf);
+    const size_t bytes = wg.page()->As<Node>()->RemoveLeafEntryAtInPlace(idx);
+    wg.Release();
+    stats_->Add(StatId::kInplaceWrites);
+    stats_->Add(StatId::kWriteBytesInplace, bytes);
+  } else {
+    if (!node->RemoveLeafEntry(key)) {
+      pager_->Unlock(leaf);
+      return Status::NotFound();
+    }
+    pager_->Put(leaf, page);
+    stats_->Add(StatId::kWriteBytesCopied, 2 * kPageSize);  // get + put
+  }
   size_.fetch_sub(1, std::memory_order_relaxed);
 
   // §5.4: while still holding the lock, record the leaf for compression if
   // it fell below half full.
-  if (want_stack && node->count < options_.min_entries && !node->is_root()) {
+  if (want_stack && view->count < options_.min_entries && !view->is_root()) {
     CompressionTask task;
     task.node = leaf;
     task.level = 0;
-    task.high = node->high;
+    task.high = view->high;
     task.stamp = guard.start_time();
-    task.stack = std::move(stack);
+    // Copy, not move: the stack may be the shared thread-local buffer.
+    task.stack = stack;
     queue->Push(std::move(task), /*update_if_present=*/true);
     stats_->Add(StatId::kQueueEnqueues);
   }

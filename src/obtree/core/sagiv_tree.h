@@ -10,7 +10,13 @@
 //     trusting anything, and fall back to full-page copy-reads after
 //     options().optimistic_retry_limit failed validations;
 //   * an insertion holds AT MOST ONE lock at any instant (Section 3) —
-//     updaters may overtake one another on the way up the tree;
+//     updaters may overtake one another on the way up the tree; by
+//     default the no-split/no-merge mutations also copy no pages: the
+//     lock-holding writer edits the live page in place, bracketed by
+//     seqlock odd/even bumps (options().inplace_writes,
+//     PageManager::BeginWrite), falling back to the get/put copy cycle
+//     for splits, root changes, and any op whose locked inspection
+//     cannot validate against a racing page reuse;
 //   * deletions remove the record from its leaf under one lock (Section 4)
 //     and optionally enqueue under-full leaves for the queue-driven
 //     compressor of Section 5.4;
@@ -140,9 +146,10 @@ class SagivTree {
     size_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
   }
 
- private:
   // Why a descent gave up on its current node and restarted from the
-  // root; drives the per-cause restart counters.
+  // root; drives the per-cause restart counters. An implementation
+  // detail, public only so sagiv_tree.cc's file-local route-dispatch
+  // helpers can name it.
   enum class RestartCause {
     kNone,
     kStaleNode,           // wrong level, or key <= low: a reused page or
@@ -150,6 +157,8 @@ class SagivTree {
     kRightmostStale,      // nil link yet key > high: stale rightmost node
     kMissingMergeTarget,  // deleted node whose merge pointer is not posted
   };
+
+ private:
   void CountRestart(RestartCause cause) const;
 
   // Copy-read search descent (the fallback path, and the only path when
@@ -203,6 +212,20 @@ class SagivTree {
                                    Page* page, bool wait_for_level = true)
       const;
 
+  // In-place counterpart of AcquireTargetNode (the inplace_writes fast
+  // path): locks the live node WITHOUT copying its page. The locked
+  // inspection reads through NodeView + PeekLocked validation, because a
+  // stale page can be reused (zeroed and rewritten) underneath even a
+  // lock holder; once an image validates as the live target, the lock
+  // alone pins it, so on success *live points at the live image and
+  // plain (non-atomic) reads of it are safe until Unlock. Returns
+  // Aborted — with the lock released — when repeated validation failures
+  // exhaust options().optimistic_retry_limit; the caller then falls back
+  // to the copy path for this operation (StatId::kInplaceFallbacks).
+  Result<PageId> AcquireTargetInPlace(Key key, uint32_t level, PageId start,
+                                      std::vector<PageId>* stack,
+                                      int* restarts, const Node** live) const;
+
   // The three insertion finishers of Fig. 6. `page` is the locked image of
   // `page_id`. Either completes the logical insert or prepares (sep,
   // new_child) for the next level. All unlock `page_id` before returning.
@@ -217,6 +240,14 @@ class SagivTree {
                           uint64_t down_ptr, AscentState* st);
   Status InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
                               uint64_t down_ptr, AscentState* st);
+
+  // In-place finisher for the no-split case (requires a lock obtained via
+  // AcquireTargetInPlace): seqlock odd, apply the entry edit to the live
+  // page through relaxed atomic stores, seqlock even, unlock. One node
+  // access (PageManager::BeginWrite) instead of the copy path's
+  // get + put.
+  void InsertIntoSafeInPlace(PageId page_id, Key key, uint64_t down_ptr,
+                             AscentState* st);
 
   // Apply the pair insertion to a node image: a leaf insert at level 0, a
   // child-split post above.

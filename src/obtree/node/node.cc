@@ -65,6 +65,55 @@ bool Node::RemoveLeafEntry(Key k) {
   return true;
 }
 
+size_t Node::InsertLeafEntryInPlace(Key k, Value v) {
+  assert(is_leaf());
+  assert(count < kMaxEntries);
+  const uint32_t n = count;
+  const uint32_t i = LowerBound(k);
+  assert(i == n || entries[i].key != k);
+  for (uint32_t j = n; j > i; --j) {
+    PageStoreWord(&entries[j].key, entries[j - 1].key);
+    PageStoreWord(&entries[j].value, entries[j - 1].value);
+  }
+  PageStoreWord(&entries[i].key, k);
+  PageStoreWord(&entries[i].value, v);
+  StoreCountInPlace(n + 1);
+  return (n - i + 1) * sizeof(Entry) + sizeof(count);
+}
+
+size_t Node::RemoveLeafEntryAtInPlace(uint32_t i) {
+  assert(is_leaf());
+  const uint32_t n = count;
+  assert(i < n);
+  for (uint32_t j = i; j + 1 < n; ++j) {
+    PageStoreWord(&entries[j].key, entries[j + 1].key);
+    PageStoreWord(&entries[j].value, entries[j + 1].value);
+  }
+  StoreCountInPlace(n - 1);
+  return (n - i - 1) * sizeof(Entry) + sizeof(count);
+}
+
+size_t Node::InsertChildSplitInPlace(Key sep, PageId new_child) {
+  assert(!is_leaf());
+  assert(count > 0);
+  assert(count < kMaxEntries);
+  assert(sep > low && sep <= high);
+  const uint32_t n = count;
+  const uint32_t i = LowerBound(sep);
+  assert(i < n);  // sep <= high == entries[count-1].key
+  if (entries[i].key == sep) return 0;
+  const uint64_t left_child = entries[i].value;
+  for (uint32_t j = n; j > i; --j) {
+    PageStoreWord(&entries[j].key, entries[j - 1].key);
+    PageStoreWord(&entries[j].value, entries[j - 1].value);
+  }
+  PageStoreWord(&entries[i].key, sep);
+  PageStoreWord(&entries[i].value, left_child);
+  PageStoreWord(&entries[i + 1].value, new_child);
+  StoreCountInPlace(n + 1);
+  return (n - i + 1) * sizeof(Entry) + sizeof(uint64_t) + sizeof(count);
+}
+
 bool Node::InsertChildSplit(Key sep, PageId new_child) {
   assert(!is_leaf());
   assert(count > 0);

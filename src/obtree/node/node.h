@@ -116,6 +116,41 @@ struct Node {
   /// Remove key k. Returns false if absent.
   bool RemoveLeafEntry(Key k);
 
+  // --- in-place updates (under a PageManager::WriteGuard) -----------------
+  //
+  // Store-side counterparts of NodeView: they mutate the LIVE page image
+  // while concurrent optimistic readers probe it, so every store goes
+  // through a relaxed word-sized atomic (PageStoreWord). The seqlock —
+  // held odd by the caller's WriteGuard for the duration — is what makes
+  // the relaxed stores safe: any reader racing them observes a moved
+  // version and discards what it saw. The caller must also hold the paper
+  // lock (sole-mutator invariant), which is why the PLAIN reads these
+  // methods do (binary search, shift sources) are race-free.
+  //
+  // Each returns the number of bytes stored — the write-path bytes-moved
+  // stats — with 0 meaning "no change" (separator already present).
+  // Compare >= 8 KB for the copy path's Get + Put cycle.
+
+  /// In-place InsertLeafEntry: shifts the tail up one slot back-to-front
+  /// and publishes the new count last. Same preconditions.
+  size_t InsertLeafEntryInPlace(Key k, Value v);
+
+  /// In-place RemoveLeafEntry, by index: the caller already located the
+  /// entry (LowerBound under the same lock), so the removal does not
+  /// repeat the search. Shifts the tail down one slot front-to-back.
+  /// Precondition: i < count.
+  size_t RemoveLeafEntryAtInPlace(uint32_t i);
+
+  /// In-place InsertChildSplit. Same preconditions; returns 0 (no change)
+  /// only if sep is already present.
+  size_t InsertChildSplitInPlace(Key sep, PageId new_child);
+
+  /// In-place header update: publish a new entry count (relaxed 32-bit
+  /// atomic store). The count is stored LAST by the insert/remove
+  /// primitives so a torn image never claims entries that were not yet
+  /// shifted into place — NodeView clamps, the seqlock discards.
+  void StoreCountInPlace(uint32_t c) { PageStoreWord32(&count, c); }
+
   // --- internal updates ----------------------------------------------------
 
   /// Record a child split in this (parent) node: some child split at

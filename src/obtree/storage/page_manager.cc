@@ -18,15 +18,15 @@ namespace {
 thread_local int tl_locks_held = 0;
 
 // Word-granular copy. The seqlock retry loop discards torn reads; copying
-// through relaxed word-sized atomic accesses keeps the concurrent access
-// well-defined. C++17 has no std::atomic_ref, so we use the __atomic
-// builtins both supported compilers (GCC, Clang) provide.
+// through relaxed word-sized atomic accesses (PageLoadWord/PageStoreWord,
+// shared with Node's in-place mutation primitives) keeps the concurrent
+// access well-defined.
 void AtomicCopyOut(const uint8_t* src, uint8_t* dst, size_t bytes) {
   const auto* s = reinterpret_cast<const uint64_t*>(src);
   auto* d = reinterpret_cast<uint64_t*>(dst);
   const size_t words = bytes / 8;
   for (size_t i = 0; i < words; ++i) {
-    d[i] = __atomic_load_n(&s[i], __ATOMIC_RELAXED);
+    d[i] = PageLoadWord(&s[i]);
   }
 }
 
@@ -35,7 +35,7 @@ void AtomicCopyIn(const uint8_t* src, uint8_t* dst, size_t bytes) {
   auto* d = reinterpret_cast<uint64_t*>(dst);
   const size_t words = bytes / 8;
   for (size_t i = 0; i < words; ++i) {
-    __atomic_store_n(&d[i], s[i], __ATOMIC_RELAXED);
+    PageStoreWord(&d[i], s[i]);
   }
 }
 
@@ -45,7 +45,7 @@ void AtomicCopyIn(const uint8_t* src, uint8_t* dst, size_t bytes) {
 void AtomicZero(uint8_t* dst) {
   auto* d = reinterpret_cast<uint64_t*>(dst);
   for (size_t i = 0; i < kPageSize / 8; ++i) {
-    __atomic_store_n(&d[i], uint64_t{0}, __ATOMIC_RELAXED);
+    PageStoreWord(&d[i], 0);
   }
 }
 
@@ -156,6 +156,35 @@ PageManager::ReadGuard PageManager::OptimisticRead(PageId id) const {
   const uint64_t version = slot->seq.load(std::memory_order_acquire);
   stats_->Add(StatId::kGets);
   return ReadGuard(&slot->seq, &slot->page, version);
+}
+
+PageManager::ReadGuard PageManager::PeekLocked(PageId id) const {
+  // Same acquisition and accounting as any other in-place read; the
+  // separate entry point exists for its distinct contract (see header).
+  return OptimisticRead(id);
+}
+
+PageManager::WriteGuard PageManager::BeginWrite(PageId id) {
+  // Fire the "put" hook BEFORE taking the seqlock odd, mirroring Put: a
+  // test pausing a writer here holds the paper lock but leaves the page
+  // readable (the storage-model property the interleaving tests assert).
+  MaybeTestHook("put", id);
+  assert(LocksHeldByThisThread() > 0);  // the paper lock is the mutator license
+  Slot* slot = SlotFor(id);
+  // The caller's paper lock excludes every Put/BeginWrite on this page;
+  // only an in-flight reuse of a STALE page could hold the seq odd, and
+  // the acquire discipline (validate as live under the lock first) rules
+  // that out. The CAS loop is defensive.
+  uint64_t seq = slot->seq.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((seq & 1) == 0 &&
+        slot->seq.compare_exchange_weak(seq, seq + 1,
+                                        std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  stats_->Add(StatId::kPuts);
+  return WriteGuard(&slot->seq, &slot->page);
 }
 
 void PageManager::Put(PageId id, const Page& in) {

@@ -11,7 +11,11 @@
 //
 // Indivisibility is provided by a per-page seqlock, so readers never block
 // and never observe a torn node image. The paper lock is a separate
-// per-page mutex.
+// per-page mutex. On top of the literal get/put, two in-place fast paths
+// ride the same seqlock: OptimisticRead (version-validated reads that
+// move no bytes) and BeginWrite/WriteGuard (a paper-lock holder mutating
+// the live page between odd/even version bumps — one node access instead
+// of the get + put pair).
 //
 // Deallocation follows Section 5.3: deleted pages are *retired* with a
 // deletion timestamp and returned to the free list only once every active
@@ -116,6 +120,85 @@ class PageManager {
   /// simulated I/O latency and the kGets counter exactly like Get, so the
   /// paper's cost model still holds; Validate() is free.
   ReadGuard OptimisticRead(PageId id) const;
+
+  /// In-place inspection for a paper-lock holder. Counts as a node
+  /// access exactly like Get/OptimisticRead (one kGets + the simulated
+  /// I/O), so the paper's cost model holds on the locked moveright too;
+  /// it is also the read half of an in-place read-modify-write — the
+  /// BeginWrite that follows charges nothing further, making the whole
+  /// RMW one node access instead of the copy path's get + put. The guard
+  /// still needs validation: page reuse (Retire -> Allocate zeroing ->
+  /// initializing Put) runs WITHOUT the paper lock, so a stale page can
+  /// move underneath even a lock holder — but once an image validates as
+  /// a live node, the lock alone pins it until Unlock (every further
+  /// mutation, including the deletion marking that precedes Retire,
+  /// requires the paper lock).
+  ReadGuard PeekLocked(PageId id) const;
+
+  /// Handle for an in-place mutation of one page by the paper-lock
+  /// holder: acquisition bumps the seqlock to odd (optimistic readers
+  /// discard what they read, copy-readers wait), Release() bumps it back
+  /// to even, publishing the stores. Between the two, every store to
+  /// page() bytes must go through relaxed word-sized atomics
+  /// (PageStoreWord / Node's *InPlace primitives) so racing NodeView
+  /// readers stay defined. Move-only; the destructor releases a guard
+  /// that is still held.
+  class WriteGuard {
+   public:
+    WriteGuard() = default;
+    WriteGuard(WriteGuard&& other) noexcept
+        : seq_(other.seq_), page_(other.page_) {
+      other.seq_ = nullptr;
+      other.page_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        seq_ = other.seq_;
+        page_ = other.page_;
+        other.seq_ = nullptr;
+        other.page_ = nullptr;
+      }
+      return *this;
+    }
+    ~WriteGuard() { Release(); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+    /// The live page image (never copied). nullptr after Release().
+    Page* page() const { return page_; }
+
+    /// True while the seqlock is held odd by this guard.
+    bool held() const { return seq_ != nullptr; }
+
+    /// Bump the seqlock back to even, publishing every in-place store.
+    /// Idempotent; also run by the destructor.
+    void Release() {
+      if (seq_ == nullptr) return;
+      seq_->fetch_add(1, std::memory_order_release);
+      seq_ = nullptr;
+      page_ = nullptr;
+    }
+
+   private:
+    friend class PageManager;
+    WriteGuard(std::atomic<uint64_t>* seq, Page* page)
+        : seq_(seq), page_(page) {}
+
+    std::atomic<uint64_t>* seq_ = nullptr;
+    Page* page_ = nullptr;
+  };
+
+  /// Begin an in-place read-modify-write of a page (the fast-path
+  /// alternative to the Get + Put copy cycle, which moves >= 8 KB to
+  /// change one slot). The caller MUST hold the paper lock on `id` and
+  /// have validated the page as a live node under that lock (see
+  /// PeekLocked) — the lock is what makes it the sole mutator. Counts
+  /// one kPuts but charges NO additional simulated I/O: the PeekLocked
+  /// that preceded it already paid for this node access, so the combined
+  /// read-modify-write costs one access instead of the two (get + put)
+  /// the copy path pays.
+  WriteGuard BeginWrite(PageId id);
 
   /// Indivisible write of a page (the paper's put(A, x)).
   void Put(PageId id, const Page& in);

@@ -22,6 +22,10 @@ const char* StatName(StatId id) {
     case StatId::kOptimisticValidations: return "optimistic_validations";
     case StatId::kOptimisticRetries: return "optimistic_retries";
     case StatId::kOptimisticFallbacks: return "optimistic_fallbacks";
+    case StatId::kInplaceWrites: return "inplace_writes";
+    case StatId::kInplaceFallbacks: return "inplace_fallbacks";
+    case StatId::kWriteBytesInplace: return "write_bytes_inplace";
+    case StatId::kWriteBytesCopied: return "write_bytes_copied";
     case StatId::kMergePointerFollows: return "merge_pointer_follows";
     case StatId::kSplits: return "splits";
     case StatId::kMerges: return "merges";

@@ -40,6 +40,16 @@ enum class StatId : int {
                          ///< a put was in flight) and re-attempted
   kOptimisticFallbacks,  ///< operations that exhausted the optimistic
                          ///< retry budget and fell back to copy-reads
+  kInplaceWrites,        ///< no-split mutations applied to the live page
+                         ///< under the seqlock (PageManager::BeginWrite)
+                         ///< instead of a Get + Put copy cycle
+  kInplaceFallbacks,     ///< mutations that abandoned the in-place path
+                         ///< (locked inspection could not validate under
+                         ///< racing page reuse) and used copy semantics
+  kWriteBytesInplace,    ///< bytes stored by in-place mutations
+  kWriteBytesCopied,     ///< bytes moved by copy-path mutations on the
+                         ///< Insert/Delete paths (page copied out under
+                         ///< the lock + every page image written back)
   kMergePointerFollows,  ///< deleted node hops recovered via merge pointer
   kSplits,               ///< node splits
   kMerges,               ///< compression merges (B absorbed into A)

@@ -289,6 +289,103 @@ TEST_F(PageManagerTest, ValidatedOptimisticReadsAreNeverTorn) {
   EXPECT_GT(validated.load(), 0u);
 }
 
+TEST_F(PageManagerTest, WriteGuardPublishesInPlaceStores) {
+  auto id = pm_.Allocate();
+  ASSERT_TRUE(id.ok());
+  pm_.Lock(*id);
+  {
+    PageManager::WriteGuard wg = pm_.BeginWrite(*id);
+    ASSERT_TRUE(wg.held());
+    auto* words = reinterpret_cast<uint64_t*>(wg.page()->bytes);
+    PageStoreWord(&words[0], 0x42);
+    PageStoreWord(&words[kPageSize / 8 - 1], 0x43);
+    wg.Release();
+    EXPECT_FALSE(wg.held());
+  }
+  pm_.Unlock(*id);
+  Page r;
+  pm_.Get(*id, &r);
+  const auto* words = reinterpret_cast<const uint64_t*>(r.bytes);
+  EXPECT_EQ(words[0], 0x42u);
+  EXPECT_EQ(words[kPageSize / 8 - 1], 0x43u);
+}
+
+TEST_F(PageManagerTest, WriteGuardInvalidatesOptimisticReaders) {
+  auto id = pm_.Allocate();
+  ASSERT_TRUE(id.ok());
+  PageManager::ReadGuard before = pm_.OptimisticRead(*id);
+  ASSERT_TRUE(before.Validate());
+  pm_.Lock(*id);
+  PageManager::WriteGuard wg = pm_.BeginWrite(*id);
+  // While the guard holds the seqlock odd, nothing can validate and new
+  // optimistic reads are unstable.
+  EXPECT_FALSE(before.Validate());
+  EXPECT_FALSE(pm_.OptimisticRead(*id).stable());
+  wg.Release();
+  pm_.Unlock(*id);
+  // Even after release the pre-write guard stays dead (version moved)...
+  EXPECT_FALSE(before.Validate());
+  // ...and a fresh read validates again.
+  EXPECT_TRUE(pm_.OptimisticRead(*id).Validate());
+}
+
+TEST_F(PageManagerTest, WriteGuardDestructorReleases) {
+  auto id = pm_.Allocate();
+  pm_.Lock(*id);
+  { PageManager::WriteGuard wg = pm_.BeginWrite(*id); }
+  pm_.Unlock(*id);
+  EXPECT_TRUE(pm_.OptimisticRead(*id).stable());
+  // Move transfers ownership: releasing through the destination once.
+  pm_.Lock(*id);
+  {
+    PageManager::WriteGuard a = pm_.BeginWrite(*id);
+    PageManager::WriteGuard b = std::move(a);
+    EXPECT_FALSE(a.held());
+    EXPECT_TRUE(b.held());
+  }
+  pm_.Unlock(*id);
+  EXPECT_TRUE(pm_.OptimisticRead(*id).Validate());
+}
+
+TEST_F(PageManagerTest, ReadModifyWriteChargesOneGetOnePut) {
+  auto id = pm_.Allocate();
+  pm_.Lock(*id);
+  const uint64_t gets = stats_.Get(StatId::kGets);
+  const uint64_t puts = stats_.Get(StatId::kPuts);
+  // The locked peek is the node access (counts a get, pays the simulated
+  // I/O); the BeginWrite completing the read-modify-write charges only
+  // the put COUNTER — the whole RMW is one access, not get + put.
+  PageManager::ReadGuard peek = pm_.PeekLocked(*id);
+  EXPECT_TRUE(peek.Validate());
+  EXPECT_EQ(stats_.Get(StatId::kGets), gets + 1);
+  PageManager::WriteGuard wg = pm_.BeginWrite(*id);
+  EXPECT_EQ(stats_.Get(StatId::kPuts), puts + 1);
+  EXPECT_EQ(stats_.Get(StatId::kGets), gets + 1);
+  wg.Release();
+  pm_.Unlock(*id);
+}
+
+TEST_F(PageManagerTest, WriteGuardBlocksCopyReadersUntilRelease) {
+  auto id = pm_.Allocate();
+  Page w{};
+  w.bytes[0] = 7;
+  pm_.Put(*id, w);
+  pm_.Lock(*id);
+  PageManager::WriteGuard wg = pm_.BeginWrite(*id);
+  std::atomic<bool> read_done{false};
+  std::thread reader([&]() {
+    Page r;
+    pm_.Get(*id, &r);  // spins while the seqlock is odd
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(read_done.load());
+  wg.Release();
+  reader.join();
+  EXPECT_TRUE(read_done.load());
+  pm_.Unlock(*id);
+}
+
 // Seqlock torture: a writer alternates between two full-page patterns while
 // readers verify they only ever observe one pattern or the other.
 TEST_F(PageManagerTest, ReadersNeverSeeTornPages) {
