@@ -23,9 +23,11 @@
 // recorded to BENCH_throughput.json (ops/s per config) so CI can archive
 // the numbers as the repo's perf trajectory.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obtree/baseline/coarse_tree.h"
@@ -65,14 +67,20 @@ void WriteJson(const char* path, bool quick, double read_path_speedup_1t,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  // Scaling ratios are physics-bound by the host: a 1-core container
+  // cannot show 4-thread speedup no matter the protocol. Recorded so
+  // the CI gate (which runs on a multi-core runner) can tell a real
+  // scaling regression from a core-starved host.
+  std::fprintf(f, "  \"cpus\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"read_path_speedup_1t\": %.3f,\n",
                read_path_speedup_1t);
   std::fprintf(f, "  \"write_path_speedup_1t\": %.3f,\n",
                write_path_speedup_1t);
-  // Single-tree mixed(50/25/25) in-memory scaling, 4 threads over 1: the
-  // known regression PR 4 started chipping at (copy traffic was the write
-  // bottleneck; lock/root contention remains). Recorded so the next PR
-  // can gate on it; < 1.0 means 4 threads are SLOWER than 1 on one tree.
+  // Single-tree mixed(50/25/25) in-memory scaling, 4 threads over 1:
+  // PR 4 removed the copy traffic (0.97x), PR 5's contention-proof paper
+  // lock + contention-aware write descent attack the remaining
+  // lock/root contention. CI's perf-smoke gates this field >= 1.3 on
+  // multi-core runners; < 1.0 means 4 threads are SLOWER than 1.
   std::fprintf(f, "  \"mixed_scaling_4t_over_1t\": %.3f,\n",
                mixed_scaling_4t_over_1t);
   std::fprintf(f, "  \"configs\": [\n");
@@ -274,10 +282,13 @@ double RunWritePathComparison(bool quick) {
   return speedup_1t;
 }
 
-// The 1->4 thread single-tree regression cell: mixed(50/25/25) in-memory
-// on ONE Sagiv tree. BENCH_sharding.json first exposed this (2.18M ops/s
-// at 1 thread -> 1.28M at 4 on the seed write path); the ratio is
-// recorded in BENCH_throughput.json so the next PR can gate on it.
+// The 1->4 thread single-tree scaling cell: mixed(50/25/25) in-memory on
+// ONE Sagiv tree. BENCH_sharding.json first exposed the regression here
+// (2.18M ops/s at 1 thread -> 1.28M at 4 on the seed write path); PR 4
+// recovered it to ~1.0x and PR 5 (contention-proof paper lock) gates it
+// at >= 1.3x in CI on multi-core runners. Best-of-3 per thread count,
+// like the sharding bench's gated cells: a gate miss must mean a real
+// regression, not scheduler noise.
 double MeasureMixedScaling(uint64_t ops_per_thread, Key key_space) {
   WorkloadSpec spec = WorkloadSpec::Mixed5050();
   spec.key_space = key_space;
@@ -285,20 +296,23 @@ double MeasureMixedScaling(uint64_t ops_per_thread, Key key_space) {
   double kops_1t = 0.0;
   double kops_4t = 0.0;
   for (int threads : {1, 4}) {
-    TreeOptions options;
-    options.min_entries = 32;
-    SagivTree tree(options);
-    PreloadTree(&tree, spec, 4);
-    const DriverResult r =
-        RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/13);
-    (threads == 1 ? kops_1t : kops_4t) = r.MopsPerSec() * 1000.0;
-    Record("mixed-single-tree/sagiv-inplace", threads,
-           r.MopsPerSec() * 1000.0);
+    double best = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      TreeOptions options;
+      options.min_entries = 32;
+      SagivTree tree(options);
+      PreloadTree(&tree, spec, 4);
+      const DriverResult r =
+          RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/13);
+      best = std::max(best, r.MopsPerSec() * 1000.0);
+    }
+    (threads == 1 ? kops_1t : kops_4t) = best;
+    Record("mixed-single-tree/sagiv-inplace", threads, best);
   }
   const double ratio = kops_1t > 0 ? kops_4t / kops_1t : 0.0;
   std::printf(
-      "single-tree mixed scaling: %.0f Kops/s @1t -> %.0f Kops/s @4t "
-      "(4t/1t = %.2fx)\n\n",
+      "single-tree mixed scaling (best of 3): %.0f Kops/s @1t -> "
+      "%.0f Kops/s @4t (4t/1t = %.2fx)\n\n",
       kops_1t, kops_4t, ratio);
   return ratio;
 }

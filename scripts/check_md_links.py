@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+# Copyright 2026 The obtree Authors.
+"""Markdown link checker for the repo's docs (CI `docs` job).
+
+Checks every [text](target) link in the given markdown files:
+
+  * relative file targets must exist (relative to the containing file);
+  * intra-document anchors (#heading) and file#anchor targets must match
+    a heading in the target document, using GitHub's slugification;
+  * http(s) and mailto links are skipped (no network in CI).
+
+Exits non-zero when any link is broken, so the CI job fails the moment
+a doc rots. Usage:
+
+  python3 scripts/check_md_links.py README.md ROADMAP.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) with nesting-free text; skips images' source by treating
+# ![alt](src) identically (the src must exist too, which is what we want).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop most
+    punctuation. Good enough for ASCII docs like ours."""
+    heading = re.sub(r"[`*_]", "", heading.strip()).lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # headings inside fences don't anchor
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(md: Path) -> list:
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    scannable = CODE_FENCE_RE.sub("", text)  # links inside fences are code
+    for m in LINK_RE.finditer(scannable):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = md if not file_part else (md.parent / file_part).resolve()
+        if not dest.exists():
+            broken.append(f"{md}: broken link -> {target} (file missing)")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(dest):
+                broken.append(f"{md}: broken anchor -> {target}")
+    return broken
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    broken = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            broken.append(f"{name}: file does not exist")
+            continue
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line)
+    total = sum(1 for a in argv[1:])
+    print(f"checked {total} files: {len(broken)} broken links")
+    # Not the raw count: POSIX truncates exit codes mod 256, and 256
+    # broken links must not read as success.
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -101,8 +101,11 @@ class ConcurrentMap {
   /// Collect up to `limit` pairs starting at `from` (pagination helper).
   std::vector<std::pair<Key, Value>> ScanLimit(Key from, size_t limit) const;
 
+  /// Keys currently stored (exact when quiescent).
   uint64_t Size() const { return tree_->Size(); }
+  /// True when no keys are stored.
   bool Empty() const { return Size() == 0; }
+  /// Tree height in levels (1 = a lone root leaf).
   uint32_t Height() const { return tree_->Height(); }
 
   /// Run compression synchronously until a fixpoint (blocks the caller,

@@ -82,6 +82,7 @@ class ShardedMap {
 
   /// Total keys across shards.
   uint64_t Size() const;
+  /// True when every shard is empty.
   bool Empty() const { return Size() == 0; }
 
   /// Tallest shard height (levels).
@@ -109,6 +110,7 @@ class ShardedMap {
 
   // --- sharding introspection (tests, benches, rebalancing tools) --------
 
+  /// Number of key-range partitions this map serves.
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }

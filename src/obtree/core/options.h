@@ -79,12 +79,28 @@ struct TreeOptions {
   /// (StatId::kInplaceFallbacks).
   bool inplace_writes = true;
 
+  /// Spin budget of the paper lock (storage/paper_lock.h): probe rounds a
+  /// contended acquisition performs — test-and-test-and-set with
+  /// exponential backoff — before parking on a futex (Lock) or giving the
+  /// target back to the caller for re-validation (the write descent's
+  /// bounded TryLockSpin). 0 parks immediately, reproducing the
+  /// pre-PaperLock std::mutex behavior. Critical sections here are a few
+  /// hundred ns (an in-place mutation between seqlock bumps), so a short
+  /// spin almost always wins over a ~microseconds park/unpark cycle.
+  uint32_t lock_spin_budget = 64;
+
+  /// Cap on the exponential backoff between lock probes, in pause
+  /// iterations (1, 2, 4, ... up to this cap; once capped, each further
+  /// round also yields so a preempted holder can run on few-core hosts).
+  uint32_t lock_backoff_max = 256;
+
   /// Simulated block-device latency per page get/put, in nanoseconds
   /// (0 = pure in-memory). The paper's nodes live on secondary storage;
   /// enabling this reproduces the I/O-bound regime its concurrency
   /// arguments target (see PageManager::set_simulated_io_ns).
   uint64_t simulated_io_ns = 0;
 
+  /// Largest admissible k: 2k+1 entries must fit a page mid-split.
   static constexpr uint32_t kMaxMinEntries = (Node::kMaxEntries - 1) / 2;
 
   /// Node capacity (2k).
@@ -100,6 +116,9 @@ struct TreeOptions {
     }
     if (optimistic_retry_limit < 1) {
       return Status::InvalidArgument("optimistic_retry_limit must be positive");
+    }
+    if (lock_backoff_max < 1) {
+      return Status::InvalidArgument("lock_backoff_max must be positive");
     }
     return Status::OK();
   }

@@ -162,6 +162,8 @@ SagivTree::SagivTree(const TreeOptions& options)
   if (!init_status_.ok()) options_ = TreeOptions();
   pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get());
   pager_->set_simulated_io_ns(options_.simulated_io_ns);
+  pager_->set_lock_spin_budget(options_.lock_spin_budget);
+  pager_->set_lock_backoff_max(options_.lock_backoff_max);
 
   // An empty tree is a single root leaf covering (-inf, +inf].
   Result<PageId> root = pager_->Allocate();
@@ -787,7 +789,52 @@ Result<PageId> SagivTree::AcquireTargetInPlace(Key key, uint32_t level,
     if (steps > kMaxStepsPerAttempt) {
       return Status::Internal("moveright did not terminate");
     }
-    pager_->Lock(current);
+    // Contention-aware acquisition: a bounded test-and-test-and-set spin
+    // (TryLockSpin) first. When the lock stays contended through the spin
+    // budget, the holder is mutating THIS node right now — quite possibly
+    // splitting a hot leaf, after which this node is the wrong target
+    // anyway. So before parking, re-route optimistically from the live
+    // image: a link/merge hop or a restart discovered here costs one node
+    // access and zero sleeps, where blocking first would park the writer,
+    // wake it into a stale target, and restart it anyway (the convoy +
+    // restart-storm pattern this discipline exists to break). Only a node
+    // that still looks like the target is worth the parking Lock.
+    if (!pager_->TryLockSpin(current)) {
+      const PageManager::ReadGuard peek = pager_->OptimisticRead(current);
+      Route reroute;  // kTorn when unstable/unvalidated: no usable signal
+      if (peek.stable()) {
+        reroute = RouteForKey(NodeView(peek.page()->As<Node>()), key, level);
+        if (!peek.Validate()) reroute.kind = Route::kTorn;
+      }
+      switch (reroute.kind) {
+        case Route::kLink:
+          stats_->Add(StatId::kLinkFollows);
+          current = reroute.next;
+          continue;
+        case Route::kMerge:
+          stats_->Add(StatId::kMergePointerFollows);
+          current = reroute.next;
+          continue;
+        case Route::kRestartStale:
+        case Route::kRestartRightmost:
+        case Route::kRestartNoMergeTarget: {
+          CountRestart(CauseFor(reroute.kind));
+          if (++(*restarts) > options_.max_restarts) {
+            return Status::Internal("too many restarts acquiring target node");
+          }
+          Result<PageId> r = internal_FindNodeAtLevel(key, level, stack);
+          if (!r.ok()) return r.status();
+          current = *r;
+          continue;
+        }
+        default:
+          // kArrived (still the target), kChild (reused as a higher-level
+          // node — let the locked inspection classify it), or kTorn: wait
+          // for the holder.
+          pager_->Lock(current);
+          break;
+      }
+    }
     // Inspect the live page without copying it. The paper lock excludes
     // every mutator EXCEPT the reuse pipeline of a stale page (Retire ->
     // Allocate zeroing -> initializing Put run without it), so reads stay

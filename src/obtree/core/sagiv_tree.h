@@ -213,7 +213,12 @@ class SagivTree {
       const;
 
   // In-place counterpart of AcquireTargetNode (the inplace_writes fast
-  // path): locks the live node WITHOUT copying its page. The locked
+  // path): locks the live node WITHOUT copying its page, using a
+  // contention-aware acquisition — a bounded TryLockSpin first; if the
+  // lock stays contended through the spin budget, the routing decision is
+  // re-checked optimistically from the live image (the holder may be
+  // splitting this very node) and only a node that still looks like the
+  // target is waited for with a parking Lock. The locked
   // inspection reads through NodeView + PeekLocked validation, because a
   // stale page can be reused (zeroed and rewritten) underneath even a
   // lock holder; once an image validates as the live target, the lock

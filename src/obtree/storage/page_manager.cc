@@ -206,16 +206,57 @@ void PageManager::Put(PageId id, const Page& in) {
   stats_->Add(StatId::kPuts);
 }
 
+bool PageManager::LockContended(Slot* slot, bool bounded) {
+  // Telemetry only runs once contention is established: the uncontended
+  // fast path (one CAS) never reads a clock or touches these counters.
+  stats_->Add(StatId::kLocksContended);
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint32_t spin = lock_spin_budget_.load(std::memory_order_relaxed);
+  const uint32_t backoff = lock_backoff_max_.load(std::memory_order_relaxed);
+  bool acquired;
+  if (bounded) {
+    acquired = slot->paper_lock.SpinAcquire(spin, backoff);
+    if (!acquired) stats_->Add(StatId::kLockSpinGiveups);
+  } else {
+    if (slot->paper_lock.Lock(spin, backoff)) {
+      stats_->Add(StatId::kLockParks);
+    }
+    acquired = true;
+  }
+  if (acquired) {
+    stats_->RecordLockWait(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return acquired;
+}
+
 void PageManager::Lock(PageId id) {
   MaybeTestHook("lock", id);
-  SlotFor(id)->paper_lock.lock();
+  Slot* slot = SlotFor(id);
+  if (!slot->paper_lock.TryLock()) {
+    LockContended(slot, /*bounded=*/false);
+  }
   tl_locks_held++;
   stats_->Add(StatId::kLocksAcquired);
   stats_->RecordLockDepth(static_cast<uint64_t>(tl_locks_held));
 }
 
 bool PageManager::TryLock(PageId id) {
-  if (!SlotFor(id)->paper_lock.try_lock()) return false;
+  if (!SlotFor(id)->paper_lock.TryLock()) return false;
+  tl_locks_held++;
+  stats_->Add(StatId::kLocksAcquired);
+  stats_->RecordLockDepth(static_cast<uint64_t>(tl_locks_held));
+  return true;
+}
+
+bool PageManager::TryLockSpin(PageId id) {
+  MaybeTestHook("lock", id);
+  Slot* slot = SlotFor(id);
+  if (!slot->paper_lock.TryLock() && !LockContended(slot, /*bounded=*/true)) {
+    return false;
+  }
   tl_locks_held++;
   stats_->Add(StatId::kLocksAcquired);
   stats_->RecordLockDepth(static_cast<uint64_t>(tl_locks_held));
@@ -226,7 +267,7 @@ void PageManager::Unlock(PageId id) {
   MaybeTestHook("unlock", id);
   tl_locks_held--;
   assert(tl_locks_held >= 0);
-  SlotFor(id)->paper_lock.unlock();
+  SlotFor(id)->paper_lock.Unlock();
 }
 
 int PageManager::LocksHeldByThisThread() { return tl_locks_held; }

@@ -11,7 +11,11 @@
 //
 // Indivisibility is provided by a per-page seqlock, so readers never block
 // and never observe a torn node image. The paper lock is a separate
-// per-page mutex. On top of the literal get/put, two in-place fast paths
+// per-page PaperLock (paper_lock.h): a compact test-and-test-and-set
+// spin-then-park lock, because the hot-path critical sections are a few
+// hundred ns and parking every contended writer in the kernel is what
+// capped single-tree multi-core scaling. On top of the literal get/put,
+// two in-place fast paths
 // ride the same seqlock: OptimisticRead (version-validated reads that
 // move no bytes) and BeginWrite/WriteGuard (a paper-lock holder mutating
 // the live page between odd/even version bumps — one node access instead
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "obtree/storage/page.h"
+#include "obtree/storage/paper_lock.h"
 #include "obtree/util/common.h"
 #include "obtree/util/epoch.h"
 #include "obtree/util/stats.h"
@@ -203,14 +208,47 @@ class PageManager {
   /// Indivisible write of a page (the paper's put(A, x)).
   void Put(PageId id, const Page& in);
 
-  /// Acquire the paper lock on a page. Blocks only other lockers.
+  /// Acquire the paper lock on a page. Blocks only other lockers. The
+  /// lock is a compact spin-then-park PaperLock (storage/paper_lock.h):
+  /// a contended acquisition spins lock_spin_budget() probe rounds with
+  /// exponential backoff before sleeping. Contended acquisitions count
+  /// StatId::kLocksContended (plus kLockParks when they slept) and feed
+  /// the wait time into StatsCollector's lock-wait histogram.
   void Lock(PageId id);
 
-  /// Try to acquire the paper lock without blocking.
+  /// Try to acquire the paper lock without blocking or spinning. Fires
+  /// no test hook (it cannot pause) and records no contention telemetry.
   bool TryLock(PageId id);
+
+  /// Contention-aware bounded acquire for the write descent: fires the
+  /// same "lock" test hook as Lock at entry, then spins at most
+  /// lock_spin_budget() probe rounds. Returns true with the lock held.
+  /// Returns false — WITHOUT blocking — when the lock stayed contended
+  /// through the budget (StatId::kLockSpinGiveups); the caller
+  /// re-validates that the page is still worth waiting for (the holder
+  /// was mutating it, e.g. splitting a hot leaf) before paying the
+  /// parking Lock.
+  bool TryLockSpin(PageId id);
 
   /// Release the paper lock.
   void Unlock(PageId id);
+
+  /// Paper-lock tuning (TreeOptions::lock_spin_budget / lock_backoff_max;
+  /// see those knobs for semantics). Safe to change at any time; takes
+  /// effect on subsequent acquisitions.
+  void set_lock_spin_budget(uint32_t rounds) {
+    lock_spin_budget_.store(rounds, std::memory_order_relaxed);
+  }
+  uint32_t lock_spin_budget() const {
+    return lock_spin_budget_.load(std::memory_order_relaxed);
+  }
+  void set_lock_backoff_max(uint32_t pauses) {
+    lock_backoff_max_.store(pauses == 0 ? 1 : pauses,
+                            std::memory_order_relaxed);
+  }
+  uint32_t lock_backoff_max() const {
+    return lock_backoff_max_.load(std::memory_order_relaxed);
+  }
 
   /// Number of paper locks the calling thread currently holds (through any
   /// PageManager). Exposed for tests asserting the "one lock at a time"
@@ -251,13 +289,15 @@ class PageManager {
   /// Pages on the free list.
   size_t free_pages() const;
 
+  /// The epoch manager governing deferred page release (not owned).
   EpochManager* epoch() const { return epoch_; }
+  /// The counter sink every operation reports to (not owned).
   StatsCollector* stats() const { return stats_; }
 
  private:
   struct Slot {
     std::atomic<uint64_t> seq{0};  // seqlock: odd while a put is in flight
-    std::mutex paper_lock;
+    PaperLock paper_lock;          // 4-byte spin-then-park lock
     Page page;
   };
 
@@ -273,9 +313,16 @@ class PageManager {
   void EnsureChunk(size_t chunk_index);
   void MaybeSimulateIo() const;
 
+  // Slow-path helper for Lock/TryLockSpin: runs once an acquisition has
+  // found the lock held. Returns true with the lock held (recording the
+  // wait time and park count), false when `bounded` gave up.
+  bool LockContended(Slot* slot, bool bounded);
+
   EpochManager* const epoch_;
   StatsCollector* const stats_;
   std::atomic<uint64_t> simulated_io_ns_{0};
+  std::atomic<uint32_t> lock_spin_budget_{64};
+  std::atomic<uint32_t> lock_backoff_max_{256};
   std::atomic<int64_t> allocation_budget_{-1};  // <0 = unlimited
   std::atomic<bool> has_test_hook_{false};
   TestHook test_hook_;

@@ -88,4 +88,43 @@ std::string Histogram::ToString() const {
   return buf;
 }
 
+AtomicHistogram::AtomicHistogram() { Reset(); }
+
+void AtomicHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void AtomicHistogram::Add(uint64_t value) {
+  buckets_[static_cast<size_t>(Histogram::BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram AtomicHistogram::Snapshot() const {
+  Histogram h;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    h.buckets_[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  h.count_ = count_.load(std::memory_order_relaxed);
+  h.sum_ = sum_.load(std::memory_order_relaxed);
+  h.min_ = min_.load(std::memory_order_relaxed);
+  h.max_ = max_.load(std::memory_order_relaxed);
+  return h;
+}
+
 }  // namespace obtree

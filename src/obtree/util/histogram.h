@@ -7,6 +7,7 @@
 #define OBTREE_UTIL_HISTOGRAM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -40,6 +41,8 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  friend class AtomicHistogram;  // materializes snapshots bucket-by-bucket
+
   static constexpr int kSubBucketsLog2 = 2;                    // 4 per octave
   static constexpr int kNumBuckets = 64 << kSubBucketsLog2;    // 256
 
@@ -51,6 +54,38 @@ class Histogram {
   uint64_t sum_;
   uint64_t min_;
   uint64_t max_;
+};
+
+/// Thread-safe counterpart of Histogram: the same bucket geometry, with
+/// every cell a relaxed atomic so any number of threads can Add()
+/// concurrently (used for the paper-lock wait-time telemetry, where the
+/// recorders are exactly the threads contending with each other).
+/// Percentile math stays on the single-threaded class: call Snapshot()
+/// to materialize a point-in-time Histogram for reporting. Snapshot and
+/// Reset are not linearizable w.r.t. concurrent Adds — intended between
+/// benchmark phases or on monotone counters, like StatsCollector.
+class AtomicHistogram {
+ public:
+  AtomicHistogram();
+
+  /// Record one sample (any thread).
+  void Add(uint64_t value);
+
+  /// Samples recorded so far.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Point-in-time copy for percentile/mean reporting.
+  Histogram Snapshot() const;
+
+  /// Remove all samples.
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
 };
 
 }  // namespace obtree

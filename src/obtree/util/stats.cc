@@ -12,6 +12,9 @@ const char* StatName(StatId id) {
     case StatId::kGets: return "gets";
     case StatId::kPuts: return "puts";
     case StatId::kLocksAcquired: return "locks_acquired";
+    case StatId::kLocksContended: return "locks_contended";
+    case StatId::kLockParks: return "lock_parks";
+    case StatId::kLockSpinGiveups: return "lock_spin_giveups";
     case StatId::kLinkFollows: return "link_follows";
     case StatId::kRestarts: return "restarts";
     case StatId::kRestartsStaleNode: return "restarts_stale_node";
@@ -148,6 +151,7 @@ void StatsCollector::Reset() {
     for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
   }
   max_locks_held_.store(0, std::memory_order_relaxed);
+  lock_wait_ns_.Reset();
 }
 
 }  // namespace obtree

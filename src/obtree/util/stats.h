@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obtree/util/common.h"
+#include "obtree/util/histogram.h"
 
 namespace obtree {
 
@@ -24,6 +25,16 @@ enum class StatId : int {
   kGets = 0,             ///< page reads (the paper's get)
   kPuts,                 ///< page writes (the paper's put)
   kLocksAcquired,        ///< paper-lock acquisitions
+  kLocksContended,       ///< acquisition attempts that found the paper
+                         ///< lock held (the spin/park slow path ran);
+                         ///< a TryLockSpin that gave up and re-entered
+                         ///< via Lock counts once per attempt
+  kLockParks,            ///< contended acquisitions that exhausted the
+                         ///< spin budget and slept (futex park) at
+                         ///< least once before acquiring
+  kLockSpinGiveups,      ///< bounded TryLockSpin acquisitions that gave
+                         ///< up without the lock (caller re-validated
+                         ///< its target instead of parking)
   kLinkFollows,          ///< moveright steps through link pointers
   kRestarts,             ///< operations restarted from the root (total)
   kRestartsStaleNode,    ///< restarts: routed to a node whose level or key
@@ -140,6 +151,15 @@ class StatsCollector {
   /// Raise the lock-depth high-water mark to at least `depth`.
   void RecordLockDepth(uint64_t depth);
 
+  /// Record the wall time (ns) a contended paper-lock acquisition spent
+  /// waiting — spin and park included. Uncontended acquisitions record
+  /// nothing (the hot path never reads a clock).
+  void RecordLockWait(uint64_t ns) { lock_wait_ns_.Add(ns); }
+
+  /// Point-in-time copy of the lock-wait histogram (p50/p99/max of the
+  /// contended-acquisition wait times, in ns).
+  Histogram LockWaitHistogram() const { return lock_wait_ns_.Snapshot(); }
+
   /// Sum of counter `id` across shards.
   uint64_t Get(StatId id) const;
 
@@ -164,6 +184,7 @@ class StatsCollector {
 
   std::array<Shard, kShards> shards_;
   std::atomic<uint64_t> max_locks_held_;
+  AtomicHistogram lock_wait_ns_;
 };
 
 }  // namespace obtree
