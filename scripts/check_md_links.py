@@ -12,7 +12,13 @@ Checks every [text](target) link in the given markdown files:
 Exits non-zero when any link is broken, so the CI job fails the moment
 a doc rots. Usage:
 
-  python3 scripts/check_md_links.py README.md ROADMAP.md docs/*.md
+  python3 scripts/check_md_links.py              # README, ROADMAP, docs/*.md
+  python3 scripts/check_md_links.py FILE... DIR...
+
+With no arguments the default set is README.md, ROADMAP.md, and every
+docs/*.md, resolved relative to the repo root (the script's parent's
+parent) — so a newly added design doc is covered without anyone editing
+the CI workflow. Directory arguments expand to their *.md files.
 """
 
 import re
@@ -59,21 +65,38 @@ def check_file(md: Path) -> list:
     return broken
 
 
+def default_targets() -> list:
+    """README.md, ROADMAP.md, and docs/*.md under the repo root."""
+    root = Path(__file__).resolve().parent.parent
+    targets = [root / "README.md", root / "ROADMAP.md"]
+    targets.extend(sorted((root / "docs").glob("*.md")))
+    return targets
+
+
 def main(argv: list) -> int:
     if len(argv) < 2:
-        print(__doc__)
-        return 1
+        paths = default_targets()
+    else:
+        paths = []
+        for name in argv[1:]:
+            path = Path(name)
+            # Directory args expand to their markdown files, so the CI
+            # invocation keeps working even on shells without globbing.
+            if path.is_dir():
+                paths.extend(sorted(path.glob("*.md")))
+            else:
+                paths.append(path)
     broken = []
-    for name in argv[1:]:
-        path = Path(name)
+    checked = 0
+    for path in paths:
         if not path.exists():
-            broken.append(f"{name}: file does not exist")
+            broken.append(f"{path}: file does not exist")
             continue
+        checked += 1
         broken.extend(check_file(path))
     for line in broken:
         print(line)
-    total = sum(1 for a in argv[1:])
-    print(f"checked {total} files: {len(broken)} broken links")
+    print(f"checked {checked} files: {len(broken)} broken links")
     # Not the raw count: POSIX truncates exit codes mod 256, and 256
     # broken links must not read as success.
     return 1 if broken else 0

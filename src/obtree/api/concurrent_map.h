@@ -165,6 +165,21 @@ class ConcurrentMap {
   /// The shared pool serving this map, or nullptr when it owns workers.
   BackgroundPool* attached_pool() const { return pool_; }
 
+  /// The handle attached_pool()'s Attach returned for this map (0 when
+  /// not pool-served). Join key for the per-shard rows of
+  /// BackgroundPool::Stats()/StatsFor — snapshot rows are in attach
+  /// order, not shard order.
+  uint64_t pool_handle() const { return pool_handle_; }
+
+  /// Permanently stop background maintenance for this map: detach from
+  /// the shared pool (blocking until no worker touches it) or join owned
+  /// workers, and detach the compression queue. The map stays fully
+  /// usable — under-full nodes just stop being compacted. Idempotent.
+  /// The shard rebalancer calls this on a donor tree once its last key
+  /// has migrated out, so retired (empty) trees cost the pool no
+  /// round-robin turns.
+  void Quiesce() { ShutdownMaintenance(); }
+
  private:
   /// Idempotent, exception-safe teardown of background maintenance:
   /// detach from the shared pool / stop and join owned workers, then

@@ -1,9 +1,14 @@
 // Copyright 2026 The obtree Authors.
+//
+// The live-migration half of online rebalancing lives here; the decision
+// half is core/shard_rebalancer.cc. Protocol walkthrough, invariants, and
+// per-interleaving correctness arguments: docs/REBALANCING.md.
 
 #include "obtree/api/sharded_map.h"
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 #include "obtree/core/background_pool.h"
 #include "obtree/core/tree_checker.h"
@@ -20,6 +25,7 @@ ShardedMap::ShardedMap(const ShardOptions& options) : options_(options) {
   shard_width_ =
       options_.key_space_hint / n + (options_.key_space_hint % n != 0);
   if (shard_width_ == 0) shard_width_ = 1;
+  dynamic_ = options_.rebalance.enabled;
 
   // One machine-sized maintenance pool serves every shard (the default);
   // per_shard_workers restores the old N-shards-times-threads topology.
@@ -30,53 +36,271 @@ ShardedMap::ShardedMap(const ShardOptions& options) : options_(options) {
     pool_ = std::make_unique<BackgroundPool>(pool_options);
   }
 
+  auto initial = std::make_unique<RoutingTable>();
+  initial->entries.reserve(n);
+  {
+    std::lock_guard<std::mutex> lk(trees_mu_);
+    for (uint32_t i = 0; i < n; ++i) {
+      trees_.push_back(MakeTree());
+      if (init_status_.ok()) {
+        init_status_ = trees_.back()->init_status();
+      }
+      RouteEntry e;
+      e.lo = static_cast<Key>(i) * shard_width_ + 1;
+      e.tree = trees_.back().get();
+      initial->entries.push_back(e);
+    }
+  }
+  table_.store(initial.get(), std::memory_order_release);
+  tables_.push_back(std::move(initial));
+
+  if (dynamic_) {
+    rebalancer_ = std::make_unique<ShardRebalancer>(
+        static_cast<ShardRebalancer::Host*>(this), options_.rebalance);
+    rebalancer_->Start();
+  }
+}
+
+// Members tear down in reverse order: the rebalancer first (joins the
+// controller thread, so no migration is in flight), then the table and
+// migration graveyards, then every tree (each detaches from the pool,
+// blocking until no worker touches it), then pool_.
+ShardedMap::~ShardedMap() = default;
+
+std::unique_ptr<ConcurrentMap> ShardedMap::MakeTree() {
   MapOptions shard_options;
   shard_options.tree = options_.tree;
   shard_options.compression = options_.compression;
   shard_options.compression_threads = options_.compression_threads_per_shard;
-  shards_.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    shards_.push_back(
-        std::make_unique<ConcurrentMap>(shard_options, pool_.get()));
-    if (init_status_.ok()) {
-      init_status_ = shards_.back()->init_status();
+  return std::make_unique<ConcurrentMap>(shard_options, pool_.get());
+}
+
+size_t ShardedMap::RouteIndex(const RoutingTable* t, Key key) {
+  const auto& es = t->entries;
+  size_t lo = 0;
+  size_t hi = es.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (es[mid].lo <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
     }
+  }
+  return lo;
+}
+
+const ShardedMap::RouteEntry& ShardedMap::Route(const RoutingTable* t,
+                                                Key key) {
+  return t->entries[RouteIndex(t, key)];
+}
+
+uint32_t ShardedMap::ShardIndex(Key key) const {
+  const RoutingTable* t = table();
+  if (!dynamic_) {
+    const uint64_t idx = (key - 1) / shard_width_;
+    const uint64_t last = t->entries.size() - 1;
+    return static_cast<uint32_t>(idx < last ? idx : last);
+  }
+  return static_cast<uint32_t>(RouteIndex(t, key));
+}
+
+bool ShardedMap::Settled(const ShardMigration* mig, Key key) {
+  return mig == nullptr || mig->done.load(std::memory_order_acquire) ||
+         key < mig->drained_below.load(std::memory_order_acquire);
+}
+
+void ShardedMap::WaitOutBatch(const ShardMigration* mig, Key key) {
+  bool waited = false;
+  while (true) {
+    const uint64_t seq = mig->batch_seq.load(std::memory_order_acquire);
+    if ((seq & 1) == 0) break;  // no batch in flight
+    // The bounds are published before the seq goes odd (release), so an
+    // odd observation implies valid bounds for THAT batch.
+    if (key < mig->batch_lo.load(std::memory_order_relaxed) ||
+        key > mig->batch_hi.load(std::memory_order_relaxed)) {
+      break;  // in flight, but not over this key
+    }
+    waited = true;
+    std::this_thread::yield();
+  }
+  if (waited) {
+    mig->donor->tree()->stats()->Add(StatId::kMigrationRetries);
   }
 }
 
-// Members tear down in reverse order: shards_ first (each shard detaches
-// from the pool, blocking until no worker touches it), then pool_.
-ShardedMap::~ShardedMap() = default;
+// --- point operations ------------------------------------------------------
+//
+// Dual-zone rule (key not yet settled): the DONOR is checked first, and a
+// donor miss waits out any in-flight batch covering the key before the
+// receiver lookup becomes authoritative. The migrator removes a key from
+// the donor strictly before inserting it into the receiver, and only
+// inside an odd batch window — so "miss in donor, then batch quiet, then
+// look in receiver" can never miss a live key.
+
+Result<Value> ShardedMap::DualGet(const RouteEntry& e, Key key) const {
+  Result<Value> v = e.mig->donor->Get(key);
+  if (v.ok()) return v;
+  WaitOutBatch(e.mig, key);
+  return e.mig->receiver->Get(key);
+}
+
+Status ShardedMap::DualInsert(const RouteEntry& e, Key key, Value value) {
+  // The donor check makes AlreadyExists authoritative: a key still in the
+  // donor must refuse the insert. If the migrator moves it concurrently,
+  // the donor miss is followed by the batch wait, after which the key is
+  // visible in the receiver and the receiver's own Insert refuses it.
+  if (e.mig->donor->Get(key).ok()) {
+    return Status::AlreadyExists("key present in migrating donor shard");
+  }
+  WaitOutBatch(e.mig, key);
+  return e.mig->receiver->Insert(key, value);
+}
+
+Status ShardedMap::DualErase(const RouteEntry& e, Key key) {
+  Status s = e.mig->donor->Erase(key);
+  if (!s.IsNotFound()) return s;  // removed from the donor, or a real error
+  WaitOutBatch(e.mig, key);
+  return e.mig->receiver->Erase(key);
+}
 
 Status ShardedMap::Insert(Key key, Value value) {
-  return shards_[ShardIndex(key)]->Insert(key, value);
+  if (!dynamic_) {
+    return StaticRoute(table(), key).tree->Insert(key, value);
+  }
+  EpochManager::Guard g(&table_epoch_);
+  const RouteEntry e = Route(table(), key);
+  if (Settled(e.mig, key)) return e.tree->Insert(key, value);
+  return DualInsert(e, key, value);
 }
 
 Result<Value> ShardedMap::Get(Key key) const {
-  return shards_[ShardIndex(key)]->Get(key);
+  if (!dynamic_) {
+    return StaticRoute(table(), key).tree->Get(key);
+  }
+  EpochManager::Guard g(&table_epoch_);
+  const RouteEntry e = Route(table(), key);
+  if (Settled(e.mig, key)) return e.tree->Get(key);
+  return DualGet(e, key);
 }
 
 Status ShardedMap::Erase(Key key) {
-  return shards_[ShardIndex(key)]->Erase(key);
+  if (!dynamic_) {
+    return StaticRoute(table(), key).tree->Erase(key);
+  }
+  EpochManager::Guard g(&table_epoch_);
+  const RouteEntry e = Route(table(), key);
+  if (Settled(e.mig, key)) return e.tree->Erase(key);
+  return DualErase(e, key);
 }
 
 Status ShardedMap::Upsert(Key key, Value value) {
-  return shards_[ShardIndex(key)]->Upsert(key, value);
+  if (!dynamic_) {
+    return StaticRoute(table(), key).tree->Upsert(key, value);
+  }
+  EpochManager::Guard g(&table_epoch_);
+  const RouteEntry e = Route(table(), key);
+  if (Settled(e.mig, key)) return e.tree->Upsert(key, value);
+  // Erase-then-insert with the same bounded retry as ConcurrentMap::Upsert,
+  // each step running the dual-zone protocol.
+  Status erased = DualErase(e, key);
+  if (!erased.ok() && !erased.IsNotFound()) return erased;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Status s = DualInsert(e, key, value);
+    if (!s.IsAlreadyExists()) return s;
+    s = DualErase(e, key);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::Aborted("upsert lost repeated races on the same key");
 }
 
-size_t ShardedMap::Scan(
-    Key lo, Key hi, const std::function<bool(Key, Value)>& visitor) const {
-  if (lo < 1) lo = 1;
-  if (hi < lo) return 0;
-  const uint32_t first = ShardIndex(lo);
-  const uint32_t last = ShardIndex(std::min(hi, kMaxUserKey));
+// --- scans -----------------------------------------------------------------
+
+bool ShardedMap::ScanMergedRange(
+    const ShardMigration* mig, Key lo, Key hi,
+    const std::function<bool(Key, Value)>& visitor, size_t* visited) const {
+  // A migrating range is the union of what is left in the donor and what
+  // has arrived in the receiver. Chunks are fetched from both and merged
+  // two-way (the partition invariant makes duplicates impossible at rest;
+  // preferring the receiver on a transient tie is the safe direction). A
+  // chunk fetched while a batch window was open — or across a window
+  // boundary — may miss the in-flight keys, so it is retried a bounded
+  // number of times; after the budget the chunk is accepted as-is, which
+  // is the documented relaxation for scans under active migration
+  // (docs/REBALANCING.md §5).
+  static constexpr size_t kChunk = 128;
+  static constexpr int kChunkRetries = 3;
+  Key pos = lo;
+  while (pos <= hi) {
+    std::vector<std::pair<Key, Value>> from_donor;
+    std::vector<std::pair<Key, Value>> from_recv;
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t before = mig->batch_seq.load(std::memory_order_acquire);
+      from_donor = mig->donor->ScanLimit(pos, kChunk);
+      from_recv = mig->receiver->ScanLimit(pos, kChunk);
+      const uint64_t after = mig->batch_seq.load(std::memory_order_acquire);
+      if (((before & 1) == 0 && after == before) || attempt >= kChunkRetries) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    // A full chunk only vouches for keys up to its own last key; a short
+    // chunk saw everything to the end of the range.
+    const Key donor_bound =
+        from_donor.size() == kChunk ? from_donor.back().first : hi;
+    const Key recv_bound =
+        from_recv.size() == kChunk ? from_recv.back().first : hi;
+    const Key bound = std::min(hi, std::min(donor_bound, recv_bound));
+
+    size_t di = 0;
+    size_t ri = 0;
+    while (true) {
+      const bool d_ok =
+          di < from_donor.size() && from_donor[di].first <= bound;
+      const bool r_ok = ri < from_recv.size() && from_recv[ri].first <= bound;
+      if (!d_ok && !r_ok) break;
+      std::pair<Key, Value> kv;
+      if (d_ok && r_ok && from_donor[di].first == from_recv[ri].first) {
+        kv = from_recv[ri];
+        ++di;
+        ++ri;
+      } else if (!r_ok ||
+                 (d_ok && from_donor[di].first < from_recv[ri].first)) {
+        kv = from_donor[di++];
+      } else {
+        kv = from_recv[ri++];
+      }
+      ++*visited;
+      if (!visitor(kv.first, kv.second)) return false;
+    }
+    if (bound >= hi) break;
+    pos = bound + 1;
+  }
+  return true;
+}
+
+size_t ShardedMap::ScanTable(
+    const RoutingTable* t, Key lo, Key hi,
+    const std::function<bool(Key, Value)>& visitor) const {
+  const auto& es = t->entries;
+  const Key cap = std::min(hi, kMaxUserKey);
   size_t visited = 0;
   bool stopped = false;
   // The partition is ordered, so visiting shards left to right delivers
   // globally ascending keys: every key of shard s precedes every key of
   // shard s+1.
-  for (uint32_t s = first; s <= last && !stopped; ++s) {
-    visited += shards_[s]->Scan(lo, hi, [&](Key k, Value v) {
+  for (size_t s = RouteIndex(t, lo); s < es.size() && !stopped; ++s) {
+    const RouteEntry& e = es[s];
+    if (e.lo > cap) break;
+    const Key seg_lo = std::max(lo, e.lo);
+    const Key seg_hi = s + 1 < es.size() ? std::min(cap, es[s + 1].lo - 1)
+                                         : cap;
+    if (seg_hi < seg_lo) continue;  // lo above the user-key cap
+    if (e.mig != nullptr && !e.mig->done.load(std::memory_order_acquire)) {
+      stopped = !ScanMergedRange(e.mig, seg_lo, seg_hi, visitor, &visited);
+      continue;
+    }
+    visited += e.tree->Scan(seg_lo, seg_hi, [&](Key k, Value v) {
       if (!visitor(k, v)) {
         stopped = true;
         return false;
@@ -85,6 +309,15 @@ size_t ShardedMap::Scan(
     });
   }
   return visited;
+}
+
+size_t ShardedMap::Scan(
+    Key lo, Key hi, const std::function<bool(Key, Value)>& visitor) const {
+  if (lo < 1) lo = 1;
+  if (hi < lo) return 0;
+  if (!dynamic_) return ScanTable(table(), lo, hi, visitor);
+  EpochManager::Guard g(&table_epoch_);
+  return ScanTable(table(), lo, hi, visitor);
 }
 
 std::vector<std::pair<Key, Value>> ShardedMap::ScanLimit(
@@ -99,20 +332,44 @@ std::vector<std::pair<Key, Value>> ShardedMap::ScanLimit(
   return out;
 }
 
+// --- aggregation -----------------------------------------------------------
+
+std::vector<ConcurrentMap*> ShardedMap::LiveTrees(
+    const RoutingTable* t) const {
+  std::vector<ConcurrentMap*> out;
+  out.reserve(t->entries.size() + 1);
+  auto add = [&out](ConcurrentMap* m) {
+    if (m == nullptr) return;
+    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
+  };
+  for (const RouteEntry& e : t->entries) {
+    add(e.tree);
+    // An unfinished migration's donor still holds part of the range.
+    if (e.mig != nullptr && !e.mig->done.load(std::memory_order_acquire)) {
+      add(e.mig->donor);
+    }
+  }
+  return out;
+}
+
 uint64_t ShardedMap::Size() const {
+  // A key lives in at most one tree at any instant (see REBALANCING.md
+  // invariant I1), so donor + receiver sums never double count.
   uint64_t total = 0;
-  for (const auto& s : shards_) total += s->Size();
+  for (const ConcurrentMap* m : LiveTrees(table())) total += m->Size();
   return total;
 }
 
 uint32_t ShardedMap::Height() const {
   uint32_t tallest = 0;
-  for (const auto& s : shards_) tallest = std::max(tallest, s->Height());
+  for (const ConcurrentMap* m : LiveTrees(table())) {
+    tallest = std::max(tallest, m->Height());
+  }
   return tallest;
 }
 
 void ShardedMap::CompressNow() {
-  for (auto& s : shards_) s->CompressNow();
+  for (ConcurrentMap* m : LiveTrees(table())) m->CompressNow();
 }
 
 PoolStatsSnapshot ShardedMap::PoolStats() const {
@@ -122,14 +379,18 @@ PoolStatsSnapshot ShardedMap::PoolStats() const {
 int ShardedMap::background_thread_count() const {
   if (pool_ != nullptr) return pool_->thread_count();
   int total = 0;
-  for (const auto& s : shards_) total += s->background_thread_count();
+  std::lock_guard<std::mutex> lk(trees_mu_);
+  for (const auto& m : trees_) total += m->background_thread_count();
   return total;
 }
 
 StatsSnapshot ShardedMap::Stats() const {
+  // Summed over every tree ever created — retired merge donors included —
+  // so counters remain monotone across rebalancing actions.
   StatsSnapshot total;
-  for (const auto& s : shards_) {
-    const StatsSnapshot snap = s->Stats();
+  std::lock_guard<std::mutex> lk(trees_mu_);
+  for (const auto& m : trees_) {
+    const StatsSnapshot snap = m->Stats();
     for (size_t i = 0; i < total.counters.size(); ++i) {
       total.counters[i] += snap.counters[i];
     }
@@ -143,8 +404,8 @@ TreeShape ShardedMap::Shape() const {
   TreeShape total;
   double fill_weighted = 0.0;
   uint64_t leaves = 0;
-  for (const auto& s : shards_) {
-    const TreeShape shape = s->Shape();
+  for (const ConcurrentMap* m : LiveTrees(table())) {
+    const TreeShape shape = m->Shape();
     total.height = std::max(total.height, shape.height);
     total.num_keys += shape.num_keys;
     total.num_nodes += shape.num_nodes;
@@ -166,14 +427,233 @@ TreeShape ShardedMap::Shape() const {
 }
 
 Status ShardedMap::ValidateStructure() const {
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Status s = shards_[i]->ValidateStructure();
+  const std::vector<ConcurrentMap*> live = LiveTrees(table());
+  for (size_t i = 0; i < live.size(); ++i) {
+    Status s = live[i]->ValidateStructure();
     if (!s.ok()) {
       return Status::Internal("shard " + std::to_string(i) + ": " +
                               s.ToString());
     }
   }
   return Status::OK();
+}
+
+// --- rebalancing: controller host + migration machinery --------------------
+
+void ShardedMap::SetMigrationHookForTest(MigrationHook hook) {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  migration_hook_ = std::move(hook);
+}
+
+void ShardedMap::FireHook(const char* point, Key key) {
+  if (migration_hook_) migration_hook_(point, key);
+}
+
+std::vector<ShardLoad> ShardedMap::SnapshotLoads() {
+  const RoutingTable* t = table();
+  std::vector<ShardLoad> out;
+  out.reserve(t->entries.size());
+  for (const RouteEntry& e : t->entries) {
+    ShardLoad load;
+    load.id = e.tree;
+    const StatsSnapshot s = e.tree->Stats();
+    load.ops = s.Get(StatId::kSearches) + s.Get(StatId::kInserts) +
+               s.Get(StatId::kDeletes);
+    load.contention = s.Get(StatId::kLocksContended);
+    if (pool_ != nullptr) {
+      const PoolShardStats ps = pool_->StatsFor(e.tree->pool_handle());
+      load.pool_drains = ps.tasks_drained;
+      load.pool_boosts = ps.boosts;
+    }
+    load.keys = e.tree->Size();
+    out.push_back(load);
+  }
+  return out;
+}
+
+void ShardedMap::PublishTable(std::unique_ptr<RoutingTable> next,
+                              bool wait_grace) {
+  RoutingTable* raw = next.get();
+  tables_.push_back(std::move(next));
+  // seq_cst store: the grace protocol below needs the swap ordered before
+  // the Advance() that defines "pre-swap" (a release store could sink past
+  // the clock RMW under store-load reordering).
+  table_.store(raw, std::memory_order_seq_cst);
+  FireHook("table-swap", static_cast<Key>(raw->entries.size()));
+  if (!wait_grace) return;
+  // Grace period: any operation that routed through an older table pinned
+  // a Guard (and thus a clock value) BEFORE loading the table pointer.
+  // Advancing the clock now and waiting until every pin is newer therefore
+  // waits out every such operation; ops pinning after our Advance read the
+  // clock through the RMW chain and are guaranteed to observe the store
+  // above — they route through the new table and need no waiting.
+  const Timestamp fence = table_epoch_.Advance();
+  while (table_epoch_.MinActive() < fence) {
+    std::this_thread::yield();
+  }
+}
+
+void ShardedMap::RunMigration(ShardMigration* mig) {
+  ConcurrentMap* donor = mig->donor;
+  ConcurrentMap* receiver = mig->receiver;
+  const size_t batch =
+      std::max<uint32_t>(1, options_.rebalance.migration_batch);
+  Key pos = mig->lo;
+  while (true) {
+    // Plan the batch OUTSIDE the window: the window only needs to cover
+    // the delete/insert handoff, not the scan.
+    std::vector<std::pair<Key, Value>> chunk = donor->ScanLimit(pos, batch);
+    while (!chunk.empty() && chunk.back().first > mig->hi) chunk.pop_back();
+    if (chunk.empty()) break;  // range drained
+    const Key first = chunk.front().first;
+    const Key last = chunk.back().first;
+    mig->batch_lo.store(first, std::memory_order_relaxed);
+    mig->batch_hi.store(last, std::memory_order_relaxed);
+    mig->batch_seq.fetch_add(1, std::memory_order_acq_rel);  // open (odd)
+    FireHook("batch-begin", first);
+    uint64_t moved = 0;
+    for (const auto& kv : chunk) {
+      // Delete-then-insert: the key is in NEITHER tree for an instant,
+      // which is exactly what the odd batch window guards. A donor delete
+      // that fails means a concurrent user Erase won the race — the user
+      // deletion wins and the key is simply not re-inserted.
+      if (donor->Erase(kv.first).ok()) {
+        FireHook("key-moved", kv.first);
+        receiver->Insert(kv.first, kv.second);
+        ++moved;
+      }
+    }
+    if (last < kMaxUserKey) {
+      mig->drained_below.store(last + 1, std::memory_order_release);
+    }
+    mig->batch_seq.fetch_add(1, std::memory_order_release);  // close (even)
+    FireHook("batch-end", last);
+    donor->tree()->stats()->Add(StatId::kKeysMigrated, moved);
+    if (last >= mig->hi) break;
+    pos = last + 1;
+  }
+  mig->done.store(true, std::memory_order_release);
+}
+
+bool ShardedMap::SplitShard(size_t index) {
+  if (!dynamic_) return false;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  const RoutingTable* cur = table();
+  const size_t n = cur->entries.size();
+  if (index >= n) return false;
+  if (n >= options_.rebalance.max_shards) return false;
+  const RouteEntry e = cur->entries[index];
+  ConcurrentMap* donor = e.tree;
+  const Key lo = e.lo;
+  const Key hi =
+      index + 1 < n ? cur->entries[index + 1].lo - 1 : kMaxUserKey;
+  if (hi <= lo) return false;  // a single-key range cannot split
+
+  // Split at the median STORED key, not the range midpoint: under a
+  // skewed workload the keys (and the load) concentrate in a slice of the
+  // range, and a midpoint split would leave one side empty.
+  const uint64_t total = donor->Size();
+  if (total < 2) return false;
+  const uint64_t half = total / 2;
+  Key mid = 0;
+  uint64_t seen = 0;
+  donor->Scan(lo, hi, [&](Key k, Value) {
+    ++seen;
+    if (seen > half) {
+      mid = k;
+      return false;
+    }
+    return true;
+  });
+  if (mid <= lo) mid = lo + 1;
+  if (mid > hi) return false;
+
+  auto fresh_owned = MakeTree();
+  if (!fresh_owned->init_status().ok()) return false;
+  ConcurrentMap* fresh = fresh_owned.get();
+  {
+    std::lock_guard<std::mutex> tlk(trees_mu_);
+    trees_.push_back(std::move(fresh_owned));
+  }
+  migrations_.push_back(std::make_unique<ShardMigration>());
+  ShardMigration* mig = migrations_.back().get();
+  mig->lo = mid;
+  mig->hi = hi;
+  mig->donor = donor;
+  mig->receiver = fresh;
+  mig->drained_below.store(mid, std::memory_order_relaxed);
+
+  // Handoff-first: the table points the upper half at the RECEIVER before
+  // a single key moves, and the grace wait flushes every operation still
+  // routing the upper half at the donor. From then on the donor can only
+  // LOSE keys in [mid, hi] — the invariant the migrator depends on.
+  auto next = std::make_unique<RoutingTable>(*cur);
+  RouteEntry fresh_entry;
+  fresh_entry.lo = mid;
+  fresh_entry.tree = fresh;
+  fresh_entry.mig = mig;
+  next->entries.insert(
+      next->entries.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+      fresh_entry);
+  PublishTable(std::move(next), /*wait_grace=*/true);
+
+  RunMigration(mig);
+
+  // Retire the finished migration from the table so future traffic takes
+  // the single-lookup fast path. No grace needed: stragglers on the old
+  // table run the dual protocol against a done migration, which resolves
+  // to the receiver.
+  auto clean = std::make_unique<RoutingTable>(*table());
+  clean->entries[index + 1].mig = nullptr;
+  PublishTable(std::move(clean), /*wait_grace=*/false);
+
+  fresh->tree()->stats()->Add(StatId::kRebalanceSplits);
+  return true;
+}
+
+bool ShardedMap::MergeShards(size_t left) {
+  if (!dynamic_) return false;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  const RoutingTable* cur = table();
+  const size_t n = cur->entries.size();
+  if (left + 1 >= n) return false;
+  if (n <= options_.rebalance.min_shards) return false;
+  ConcurrentMap* receiver = cur->entries[left].tree;
+  ConcurrentMap* donor = cur->entries[left + 1].tree;
+  const Key lo = cur->entries[left + 1].lo;
+  const Key hi =
+      left + 2 < n ? cur->entries[left + 2].lo - 1 : kMaxUserKey;
+
+  migrations_.push_back(std::make_unique<ShardMigration>());
+  ShardMigration* mig = migrations_.back().get();
+  mig->lo = lo;
+  mig->hi = hi;
+  mig->donor = donor;
+  mig->receiver = receiver;
+  mig->drained_below.store(lo, std::memory_order_relaxed);
+
+  // Same handoff-first shape as SplitShard: the right range is pointed at
+  // the surviving left tree (the receiver) before any key moves.
+  auto next = std::make_unique<RoutingTable>(*cur);
+  next->entries[left + 1].tree = receiver;
+  next->entries[left + 1].mig = mig;
+  PublishTable(std::move(next), /*wait_grace=*/true);
+
+  RunMigration(mig);
+
+  // Coalesce: entry `left` now covers both ranges; the drained donor
+  // leaves the table for good.
+  auto clean = std::make_unique<RoutingTable>(*table());
+  clean->entries.erase(clean->entries.begin() +
+                       static_cast<std::ptrdiff_t>(left) + 1);
+  PublishTable(std::move(clean), /*wait_grace=*/false);
+
+  // The donor is empty and unreachable for writes; stop paying for its
+  // background maintenance. The tree object itself stays alive (readers
+  // on stale table snapshots may still probe it) until the map dies.
+  donor->Quiesce();
+  receiver->tree()->stats()->Add(StatId::kRebalanceMerges);
+  return true;
 }
 
 }  // namespace obtree

@@ -18,6 +18,16 @@
 // ascending keys without a heap merge. Stats and TreeShape aggregate
 // across shards.
 //
+// With options.rebalance.enabled the partition becomes DYNAMIC: a
+// ShardRebalancer thread watches per-shard load (op counters, paper-lock
+// contention, BackgroundPool drain/boost rates), splits hot shards and
+// merges cold neighbors by migrating boundary key ranges under live
+// traffic. Routing then goes through an atomically swappable boundary
+// table; during a migration, operations on the moving range run a
+// donor-first double lookup so every interleaving stays correct. The full
+// protocol, its invariants, and the operator playbook are in
+// docs/REBALANCING.md.
+//
 //   obtree::ShardOptions options;
 //   options.num_shards = 8;
 //   options.key_space_hint = 10'000'000;   // expected key range
@@ -27,14 +37,18 @@
 #ifndef OBTREE_API_SHARDED_MAP_H_
 #define OBTREE_API_SHARDED_MAP_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "obtree/api/concurrent_map.h"
 #include "obtree/core/options.h"
+#include "obtree/core/shard_rebalancer.h"
 #include "obtree/util/common.h"
+#include "obtree/util/epoch.h"
 #include "obtree/util/stats.h"
 #include "obtree/util/status.h"
 
@@ -44,10 +58,10 @@ class BackgroundPool;
 struct TreeShape;
 
 /// Thread-safe ordered map, partitioned across independent tree shards.
-class ShardedMap {
+class ShardedMap : private ShardRebalancer::Host {
  public:
   explicit ShardedMap(const ShardOptions& options = ShardOptions());
-  ~ShardedMap();
+  ~ShardedMap() override;
   OBTREE_DISALLOW_COPY_AND_ASSIGN(ShardedMap);
 
   /// Construction status (InvalidArgument if options were rejected; the
@@ -73,7 +87,10 @@ class ShardedMap {
 
   /// Visit pairs with lo <= key <= hi in globally ascending order,
   /// traversing only the shards whose ranges intersect [lo, hi]. The
-  /// visitor returns false to stop. Returns pairs visited.
+  /// visitor returns false to stop. Returns pairs visited. During a
+  /// migration the moving range is served by a chunked two-way merge of
+  /// donor and receiver (see docs/REBALANCING.md for the consistency
+  /// contract of scans that overlap an in-flight batch).
   size_t Scan(Key lo, Key hi,
               const std::function<bool(Key, Value)>& visitor) const;
 
@@ -92,6 +109,9 @@ class ShardedMap {
   void CompressNow();
 
   /// Operation counters summed across shards; max_locks_held is the max.
+  /// Sums over every tree the map has EVER created — including donors
+  /// retired by a merge — so all counters stay monotone across
+  /// rebalancing actions.
   StatsSnapshot Stats() const;
 
   /// Counters of the shared background-maintenance pool: tasks drained
@@ -110,32 +130,37 @@ class ShardedMap {
 
   // --- sharding introspection (tests, benches, rebalancing tools) --------
 
-  /// Number of key-range partitions this map serves.
+  /// Number of key-range partitions this map serves. Fixed at
+  /// options.num_shards unless rebalancing is enabled, in which case it
+  /// moves within [rebalance.min_shards, rebalance.max_shards].
   uint32_t num_shards() const {
-    return static_cast<uint32_t>(shards_.size());
+    return static_cast<uint32_t>(table()->entries.size());
   }
 
-  /// The shard whose range contains `key`.
-  uint32_t ShardIndex(Key key) const {
-    const uint64_t idx = (key - 1) / shard_width_;
-    const uint64_t last = shards_.size() - 1;
-    return static_cast<uint32_t>(idx < last ? idx : last);
-  }
+  /// The shard whose range contains `key` (index into the CURRENT
+  /// partition; stale the moment a rebalance swaps the table).
+  uint32_t ShardIndex(Key key) const;
 
   /// Smallest key routed to `shard` (its range is
   /// [ShardLowerBound(s), ShardLowerBound(s+1) - 1], unbounded above for
   /// the last shard).
   Key ShardLowerBound(uint32_t shard) const {
-    return static_cast<Key>(shard) * shard_width_ + 1;
+    return table()->entries[shard].lo;
   }
 
   /// Direct access to one shard's map / tree (benchmarks, validation).
-  ConcurrentMap* shard(uint32_t i) { return shards_[i].get(); }
-  const ConcurrentMap* shard(uint32_t i) const { return shards_[i].get(); }
+  ConcurrentMap* shard(uint32_t i) { return table()->entries[i].tree; }
+  const ConcurrentMap* shard(uint32_t i) const {
+    return table()->entries[i].tree;
+  }
 
   /// The shared maintenance pool, or nullptr in per-shard-workers mode /
   /// with compression off.
   BackgroundPool* pool() const { return pool_.get(); }
+
+  /// The rebalancing controller, or nullptr unless
+  /// options.rebalance.enabled (tests drive TickForTest through this).
+  ShardRebalancer* rebalancer() const { return rebalancer_.get(); }
 
   /// Total background maintenance threads serving this map: the pool's
   /// fixed size in shared-pool mode (independent of num_shards), or the
@@ -144,14 +169,158 @@ class ShardedMap {
 
   const ShardOptions& options() const { return options_; }
 
+  // --- test hooks ---------------------------------------------------------
+
+  /// Called from the migration thread at named points ("table-swap",
+  /// "batch-begin", "key-moved", "batch-end") with the key involved.
+  /// Tests use it to freeze a migration mid-window and race operations
+  /// against it. Must be installed BEFORE any migration starts and may
+  /// block; never called when unset. Not for production use.
+  using MigrationHook = std::function<void(const char* point, Key key)>;
+  void SetMigrationHookForTest(MigrationHook hook);
+
+  /// Force one split/merge synchronously, bypassing the controller policy
+  /// (but not the mechanism: same migration protocol, same table swap).
+  /// Requires rebalancing to be enabled; returns false when the action is
+  /// structurally impossible. Tests only.
+  bool DebugSplitShard(uint32_t index) { return SplitShard(index); }
+  bool DebugMergeShards(uint32_t left) { return MergeShards(left); }
+
  private:
+  /// One in-flight (or completed) key-range migration. Readers hold raw
+  /// pointers to these from routing-table snapshots, so migrations are
+  /// never freed before the map itself (migrations_ graveyard).
+  ///
+  /// State, in publication order (see docs/REBALANCING.md §3):
+  ///   keys in [lo, drained_below)          moved; receiver authoritative
+  ///   keys in [batch_lo, batch_hi], seq odd  in flight; wait out the batch
+  ///   remaining keys in [lo, hi]           still in the donor
+  struct ShardMigration {
+    Key lo = 0;                         ///< migrating range, inclusive
+    Key hi = 0;
+    ConcurrentMap* donor = nullptr;     ///< keys drain OUT of this tree
+    ConcurrentMap* receiver = nullptr;  ///< ... INTO this tree
+    /// Keys below this are fully migrated (monotone; starts at lo).
+    std::atomic<Key> drained_below{0};
+    /// Seqlock over the in-flight batch: odd while the migrator is
+    /// between "removed from donor" and "batch fully inserted into
+    /// receiver" for the keys in [batch_lo, batch_hi].
+    std::atomic<uint64_t> batch_seq{0};
+    std::atomic<Key> batch_lo{0};
+    std::atomic<Key> batch_hi{0};
+    /// Set once the whole range has drained; the entry's tree (the
+    /// receiver) is then authoritative for every key.
+    std::atomic<bool> done{false};
+  };
+
+  /// One row of the routing table: keys in [lo, next row's lo) are served
+  /// by `tree`. While `mig` is set (and not done), `tree` is the
+  /// migration's receiver and operations run the donor-first double
+  /// lookup instead of a plain single-tree call.
+  struct RouteEntry {
+    Key lo = 1;
+    ConcurrentMap* tree = nullptr;
+    ShardMigration* mig = nullptr;
+  };
+
+  /// Immutable once published. Swapped atomically; superseded tables are
+  /// retired to tables_ and freed only at map destruction, so a reader
+  /// may dereference a stale snapshot indefinitely.
+  struct RoutingTable {
+    std::vector<RouteEntry> entries;  ///< sorted by lo; entries[0].lo == 1
+  };
+
+  // ShardRebalancer::Host (controller thread; serialized by admin_mu_).
+  std::vector<ShardLoad> SnapshotLoads() override;
+  bool SplitShard(size_t index) override;
+  bool MergeShards(size_t left) override;
+
+  const RoutingTable* table() const {
+    return table_.load(std::memory_order_acquire);
+  }
+
+  /// Last entry with entry.lo <= key (always exists: entries[0].lo == 1).
+  static const RouteEntry& Route(const RoutingTable* t, Key key);
+  static size_t RouteIndex(const RoutingTable* t, Key key);
+
+  /// Division-based routing for the static (rebalancing-off) topology —
+  /// the table is equal-width there, so the quotient IS the index.
+  const RouteEntry& StaticRoute(const RoutingTable* t, Key key) const {
+    const uint64_t idx = (key - 1) / shard_width_;
+    const uint64_t last = t->entries.size() - 1;
+    return t->entries[idx < last ? idx : last];
+  }
+
+  /// Scan body over one table snapshot (caller holds the epoch guard in
+  /// dynamic mode).
+  size_t ScanTable(const RoutingTable* t, Key lo, Key hi,
+                   const std::function<bool(Key, Value)>& visitor) const;
+
+  /// True when `key` no longer needs the double lookup: no migration, the
+  /// migration finished, or the key's prefix has fully drained.
+  static bool Settled(const ShardMigration* mig, Key key);
+
+  /// Spin-yield while an in-flight migration batch covers `key` (counted
+  /// as StatId::kMigrationRetries on the donor when it actually waited).
+  static void WaitOutBatch(const ShardMigration* mig, Key key);
+
+  // Double-lookup protocols for keys in a migration's unsettled zone
+  // (correctness argument per interleaving: docs/REBALANCING.md §4).
+  Result<Value> DualGet(const RouteEntry& e, Key key) const;
+  Status DualInsert(const RouteEntry& e, Key key, Value value);
+  Status DualErase(const RouteEntry& e, Key key);
+
+  /// Chunked ascending merge of donor + receiver over [lo, hi] for scans
+  /// crossing a live migration. Returns false if the visitor stopped.
+  bool ScanMergedRange(const ShardMigration* mig, Key lo, Key hi,
+                       const std::function<bool(Key, Value)>& visitor,
+                       size_t* visited) const;
+
+  /// Publish a new routing table (admin_mu_ held). With wait_grace, block
+  /// until every operation that may have routed through a previous table
+  /// has finished — after it returns, all traffic sees the new topology.
+  void PublishTable(std::unique_ptr<RoutingTable> next, bool wait_grace);
+
+  /// Drain mig's range donor -> receiver in batches (admin_mu_ held).
+  void RunMigration(ShardMigration* mig);
+
+  /// Build a ConcurrentMap with this map's per-shard options.
+  std::unique_ptr<ConcurrentMap> MakeTree();
+
+  /// Distinct live trees: every routing-table tree plus the donors of
+  /// unfinished migrations (table snapshot passed in by the caller).
+  std::vector<ConcurrentMap*> LiveTrees(const RoutingTable* t) const;
+
+  void FireHook(const char* point, Key key);
+
   ShardOptions options_;
   Status init_status_;
-  uint64_t shard_width_;  ///< keys per shard range (ceil division)
-  /// Declared before shards_ so it is destroyed after them: each shard's
-  /// destructor detaches itself from the (still-live) pool.
+  uint64_t shard_width_;  ///< keys per initial shard range (ceil division)
+  bool dynamic_ = false;  ///< options_.rebalance.enabled and valid
+  /// Declared before the tree graveyard so it is destroyed after them:
+  /// each tree's destructor detaches itself from the (still-live) pool.
   std::unique_ptr<BackgroundPool> pool_;
-  std::vector<std::unique_ptr<ConcurrentMap>> shards_;
+  /// Every tree ever created, live or retired (merge donors). Guarded by
+  /// trees_mu_ for mutation + whole-vector reads; elements are never
+  /// removed before destruction.
+  mutable std::mutex trees_mu_;
+  std::vector<std::unique_ptr<ConcurrentMap>> trees_;
+  /// Every routing table ever published (the current one is tables_.back()
+  /// at rest) and every migration ever run. Readers hold raw pointers
+  /// into these from table snapshots; freed only on destruction.
+  std::vector<std::unique_ptr<RoutingTable>> tables_;
+  std::vector<std::unique_ptr<ShardMigration>> migrations_;
+  std::atomic<RoutingTable*> table_{nullptr};
+  /// Map-level grace-period clock: every operation pins a Guard while it
+  /// may hold a routing-table snapshot (only when dynamic_), and
+  /// PublishTable waits until all pre-swap pins release.
+  mutable EpochManager table_epoch_;
+  /// Serializes topology changes: controller actions and Debug* calls.
+  std::mutex admin_mu_;
+  MigrationHook migration_hook_;
+  /// Declared last so it is destroyed FIRST: its destructor joins the
+  /// controller thread before any state it steers goes away.
+  std::unique_ptr<ShardRebalancer> rebalancer_;
 };
 
 }  // namespace obtree

@@ -133,6 +133,21 @@ PoolStatsSnapshot BackgroundPool::Stats() const {
   return snap;
 }
 
+PoolShardStats BackgroundPool::StatsFor(uint64_t handle) const {
+  PoolShardStats ps;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sources_) {
+    if (s->handle != handle) continue;
+    ps.handle = s->handle;
+    ps.tasks_drained = s->tasks_drained.load(std::memory_order_acquire);
+    ps.restructures = s->restructures.load(std::memory_order_acquire);
+    ps.requeues = s->requeues.load(std::memory_order_relaxed);
+    ps.boosts = s->boosts.load(std::memory_order_relaxed);
+    break;
+  }
+  return ps;
+}
+
 bool BackgroundPool::BeginWork(Source* src) {
   src->active.fetch_add(1);  // seq_cst: see Detach
   if (src->detached.load()) {

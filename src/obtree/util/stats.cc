@@ -43,6 +43,10 @@ const char* StatName(StatId id) {
     case StatId::kQueueDiscards: return "queue_discards";
     case StatId::kPoolTasksDrained: return "pool_tasks_drained";
     case StatId::kPoolBoosts: return "pool_boosts";
+    case StatId::kRebalanceSplits: return "rebalance_splits";
+    case StatId::kRebalanceMerges: return "rebalance_merges";
+    case StatId::kKeysMigrated: return "keys_migrated";
+    case StatId::kMigrationRetries: return "migration_retries";
     case StatId::kSearches: return "searches";
     case StatId::kInserts: return "inserts";
     case StatId::kDeletes: return "deletes";

@@ -77,6 +77,17 @@ enum class StatId : int {
                          ///< a shared BackgroundPool worker
   kPoolBoosts,           ///< pool picks of this tree that bypassed the
                          ///< round-robin order (depth boost or work steal)
+  kRebalanceSplits,      ///< shard splits the rebalancer performed
+                         ///< (attributed to the new tree that received the
+                         ///< hot shard's upper half)
+  kRebalanceMerges,      ///< shard merges the rebalancer performed
+                         ///< (attributed to the surviving left tree)
+  kKeysMigrated,         ///< keys the rebalancer moved between trees
+                         ///< (attributed to the donor they moved out of)
+  kMigrationRetries,     ///< operations that landed on a migration's
+                         ///< in-flight batch window and waited it out
+                         ///< before the second lookup (attributed to the
+                         ///< donor tree)
   kSearches,             ///< logical search operations
   kInserts,              ///< logical insert operations
   kDeletes,              ///< logical delete operations
@@ -105,27 +116,52 @@ struct StatsSnapshot {
 };
 
 /// Per-attached-shard slice of a BackgroundPool stats snapshot
-/// (core/background_pool.h). `handle` is the value Attach returned.
+/// (core/background_pool.h). This is the per-shard half of the
+/// rebalancer's load signal (core/shard_rebalancer.h): a shard whose
+/// drain/boost counters grow much faster than its peers' is receiving a
+/// disproportionate share of deletion churn.
+///
+/// All counters are plain event COUNTS (no units) cumulative since
+/// Attach, and are monotone non-decreasing for as long as the shard stays
+/// attached; Detach discards them (a re-Attach starts from zero under a
+/// new handle). Consumers that want rates must snapshot twice and diff.
 struct PoolShardStats {
+  /// The identifier Attach returned for this shard. Join key for mapping
+  /// a snapshot row back to the ConcurrentMap it describes
+  /// (ConcurrentMap::pool_handle()); handles are unique per pool and
+  /// never reused.
   uint64_t handle = 0;
   uint64_t tasks_drained = 0;  ///< queue entries processed for this shard
-  uint64_t restructures = 0;   ///< merges/redistributions/root collapses
+                               ///< (all outcomes: restructure, requeue,
+                               ///< or stale discard)
+  uint64_t restructures = 0;   ///< entries that led to a structural fix
+                               ///< (merge/redistribution/root collapse)
   uint64_t requeues = 0;       ///< entries put back for a later visit
-  uint64_t boosts = 0;         ///< off-turn picks (depth boost / steal)
+  uint64_t boosts = 0;         ///< off-turn picks (depth boost / steal):
+                               ///< how often this shard's queue was deep
+                               ///< enough to jump the round-robin order
 };
 
 /// Point-in-time counters of a BackgroundPool: how a machine-sized worker
-/// set divided its attention across the attached shards.
+/// set divided its attention across the attached shards. As with
+/// PoolShardStats, every field is a cumulative count since the pool
+/// started, monotone non-decreasing while the pool lives (Stop freezes
+/// them); only the per-shard rows in `shards` reset, and only on Detach.
 struct PoolStatsSnapshot {
-  int threads = 0;             ///< workers the pool runs
+  int threads = 0;             ///< workers the pool runs (0 = no pool)
   uint64_t rounds = 0;         ///< scheduling rounds across all workers
-  uint64_t tasks_drained = 0;  ///< queue entries processed (all outcomes)
+  uint64_t tasks_drained = 0;  ///< queue entries processed (all outcomes);
+                               ///< equals the sum over live shards'
+                               ///< tasks_drained plus those of shards
+                               ///< detached since
   uint64_t restructures = 0;   ///< merges/redistributions/root collapses
   uint64_t boosts = 0;         ///< periodic deepest-queue priority picks
   uint64_t steals = 0;         ///< empty round-robin turns redirected to
                                ///< the deepest non-empty queue
   uint64_t idle_sleeps = 0;    ///< rounds that found no work and slept
-  std::vector<PoolShardStats> shards;  ///< attach order of live shards
+  std::vector<PoolShardStats> shards;  ///< live shards, in attach order
+                                       ///< (NOT shard-index order; join on
+                                       ///< `handle`)
 
   /// Fraction of scheduling rounds that went to sleep instead of working.
   double IdleRatio() const {
