@@ -9,6 +9,7 @@
 
 #include "obtree/node/node.h"
 #include "obtree/storage/page_manager.h"
+#include "obtree/util/fault_injector.h"
 #include "obtree/util/random.h"
 
 namespace obtree {
@@ -149,6 +150,34 @@ void BM_PageOptimisticProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageOptimisticProbe);
+
+// Failpoint-gate overhead on the page hot path. With nothing armed the
+// gate is one relaxed atomic load folded into BM_PageGet above (compare
+// that cell across commits for the <1% disarmed-overhead bar). This cell
+// arms an UNRELATED site, so every Get takes the slow path — a registry
+// lock + hash lookup that misses — quantifying what merely having any
+// failpoint armed costs traffic that never fires one.
+void BM_PageGetFaultGateArmedElsewhere(benchmark::State& state) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);
+  const PageId id = *pm.Allocate();
+  Page w{};
+  pm.Put(id, w);
+  FaultSpec spec;
+  spec.action = FaultAction::kError;
+  spec.probability = 0.0;  // never fires; only the lookup cost remains
+  FaultInjector::Instance().Arm("bench-unused-site", spec);
+  Page r;
+  for (auto _ : state) {
+    pm.Get(id, &r);
+    benchmark::DoNotOptimize(r.bytes[0]);
+  }
+  FaultInjector::Instance().DisarmAll();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_PageGetFaultGateArmedElsewhere);
 
 void BM_PagePut(benchmark::State& state) {
   EpochManager epoch;

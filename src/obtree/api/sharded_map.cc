@@ -7,11 +7,13 @@
 #include "obtree/api/sharded_map.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 
 #include "obtree/core/background_pool.h"
 #include "obtree/core/tree_checker.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 
@@ -388,14 +390,22 @@ StatsSnapshot ShardedMap::Stats() const {
   // Summed over every tree ever created — retired merge donors included —
   // so counters remain monotone across rebalancing actions.
   StatsSnapshot total;
-  std::lock_guard<std::mutex> lk(trees_mu_);
-  for (const auto& m : trees_) {
-    const StatsSnapshot snap = m->Stats();
-    for (size_t i = 0; i < total.counters.size(); ++i) {
-      total.counters[i] += snap.counters[i];
+  {
+    std::lock_guard<std::mutex> lk(trees_mu_);
+    for (const auto& m : trees_) {
+      const StatsSnapshot snap = m->Stats();
+      for (size_t i = 0; i < total.counters.size(); ++i) {
+        total.counters[i] += snap.counters[i];
+      }
+      total.max_locks_held =
+          std::max(total.max_locks_held, snap.max_locks_held);
     }
-    total.max_locks_held =
-        std::max(total.max_locks_held, snap.max_locks_held);
+  }
+  // Breaker trips are controller-level, not per-tree; surface them in the
+  // same snapshot so operators see degradation in one place.
+  if (rebalancer_ != nullptr) {
+    total.counters[static_cast<size_t>(StatId::kRebalanceBreakerTrips)] +=
+        rebalancer_->breaker_trips();
   }
   return total;
 }
@@ -493,83 +503,178 @@ void ShardedMap::PublishTable(std::unique_ptr<RoutingTable> next,
   }
 }
 
-void ShardedMap::RunMigration(ShardMigration* mig) {
+bool ShardedMap::LandKey(ShardMigration* mig, Key key, Value value) {
+  // The key is in NEITHER tree and the batch window is open: it MUST land
+  // before the window closes. The first attempts honor injected faults;
+  // after that the insert runs exempt (injection cannot touch it), and the
+  // donor is the fallback of last resort so a failed batch stays
+  // donor-authoritative. AlreadyExists means an earlier attempt landed
+  // despite reporting a (mid-restart) failure — the key is safe.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const Status s = mig->receiver->Insert(key, value);
+    if (s.ok() || s.IsAlreadyExists()) return true;
+  }
+  FaultInjector::ScopedExemption exempt;
+  const Status s = mig->receiver->Insert(key, value);
+  if (s.ok() || s.IsAlreadyExists()) return true;
+  mig->donor->Insert(key, value);
+  return false;
+}
+
+bool ShardedMap::RunMigration(ShardMigration* mig) {
   ConcurrentMap* donor = mig->donor;
-  ConcurrentMap* receiver = mig->receiver;
   const size_t batch =
       std::max<uint32_t>(1, options_.rebalance.migration_batch);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.rebalance.migration_deadline_ms);
+  uint32_t failures = 0;
   Key pos = mig->lo;
   while (true) {
+    // Watchdog: a migration that keeps failing batches (or keeps being
+    // stalled) must not pin admin_mu_ forever — past the deadline it
+    // aborts and the caller rolls back.
+    if (std::chrono::steady_clock::now() > deadline) {
+      donor->tree()->stats()->Add(StatId::kMigrationAborts);
+      SetLastRebalanceError(
+          Status::Aborted("migration exceeded its deadline; rolled back"));
+      return false;
+    }
     // Plan the batch OUTSIDE the window: the window only needs to cover
-    // the delete/insert handoff, not the scan.
-    std::vector<std::pair<Key, Value>> chunk = donor->ScanLimit(pos, batch);
+    // the delete/insert handoff, not the scan. Planning is control-plane
+    // work and reads ground truth — an injected short read here would
+    // silently skip keys, which is corruption, not degradation.
+    std::vector<std::pair<Key, Value>> chunk;
+    {
+      FaultInjector::ScopedExemption exempt;
+      chunk = donor->ScanLimit(pos, batch);
+    }
     while (!chunk.empty() && chunk.back().first > mig->hi) chunk.pop_back();
     if (chunk.empty()) break;  // range drained
     const Key first = chunk.front().first;
     const Key last = chunk.back().first;
-    mig->batch_lo.store(first, std::memory_order_relaxed);
-    mig->batch_hi.store(last, std::memory_order_relaxed);
-    mig->batch_seq.fetch_add(1, std::memory_order_acq_rel);  // open (odd)
-    FireHook("batch-begin", first);
-    uint64_t moved = 0;
-    for (const auto& kv : chunk) {
-      // Delete-then-insert: the key is in NEITHER tree for an instant,
-      // which is exactly what the odd batch window guards. A donor delete
-      // that fails means a concurrent user Erase won the race — the user
-      // deletion wins and the key is simply not re-inserted.
-      if (donor->Erase(kv.first).ok()) {
-        FireHook("key-moved", kv.first);
-        receiver->Insert(kv.first, kv.second);
-        ++moved;
+
+    bool batch_ok = true;
+    // Highest key of this batch that is fully resolved (moved, or erased
+    // by a racing user delete). drained_below may advance past resolved
+    // keys even when the batch later fails — but never past a failure.
+    Key completed_through = first - 1;
+    if (FaultInjector::TrapsArmed() &&
+        FaultInjector::Instance().Evaluate("migration-batch").inject_error) {
+      batch_ok = false;  // injected batch failure: nothing moved yet
+    } else {
+      mig->batch_lo.store(first, std::memory_order_relaxed);
+      mig->batch_hi.store(last, std::memory_order_relaxed);
+      mig->batch_seq.fetch_add(1, std::memory_order_acq_rel);  // open (odd)
+      FireHook("batch-begin", first);
+      uint64_t moved = 0;
+      for (const auto& kv : chunk) {
+        // Delete-then-insert: the key is in NEITHER tree for an instant,
+        // which is exactly what the odd batch window guards. A donor
+        // delete returning NotFound means a concurrent user Erase won the
+        // race — the user deletion wins and the key is not re-inserted.
+        const Status es = donor->Erase(kv.first);
+        if (es.ok()) {
+          FireHook("key-moved", kv.first);
+          if (!LandKey(mig, kv.first, kv.second)) {
+            batch_ok = false;  // fell back into the donor: not migrated
+            break;
+          }
+          ++moved;
+          completed_through = kv.first;
+        } else if (es.IsNotFound()) {
+          completed_through = kv.first;
+        } else {
+          // Transient donor failure (injected or real): the key may still
+          // be donor-side, so the batch stops HERE and drained_below must
+          // not pass it.
+          batch_ok = false;
+          break;
+        }
       }
+      if (completed_through >= pos && completed_through < kMaxUserKey) {
+        mig->drained_below.store(completed_through + 1,
+                                 std::memory_order_release);
+      }
+      mig->batch_seq.fetch_add(1, std::memory_order_release);  // close
+      FireHook("batch-end", last);
+      donor->tree()->stats()->Add(StatId::kKeysMigrated, moved);
+      mig->keys_moved.fetch_add(moved, std::memory_order_relaxed);
     }
-    if (last < kMaxUserKey) {
-      mig->drained_below.store(last + 1, std::memory_order_release);
+
+    if (batch_ok) {
+      failures = 0;
+      if (last >= mig->hi) break;
+      pos = last + 1;
+    } else {
+      if (++failures > options_.rebalance.migration_retry_limit) {
+        donor->tree()->stats()->Add(StatId::kMigrationAborts);
+        SetLastRebalanceError(Status::Aborted(
+            "migration batch exhausted its retries; rolled back"));
+        return false;
+      }
+      // Retry the same position after a short backoff; keys that already
+      // resolved are gone from the donor, so the re-planned chunk picks
+      // up exactly where the failure stopped.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          200u << (failures < 4 ? failures : 4)));
     }
-    mig->batch_seq.fetch_add(1, std::memory_order_release);  // close (even)
-    FireHook("batch-end", last);
-    donor->tree()->stats()->Add(StatId::kKeysMigrated, moved);
-    if (last >= mig->hi) break;
-    pos = last + 1;
   }
   mig->done.store(true, std::memory_order_release);
+  return true;
 }
 
-bool ShardedMap::SplitShard(size_t index) {
-  if (!dynamic_) return false;
+ShardedMap::ShardMigration* ShardedMap::MakeRollback(
+    const ShardMigration* aborted) {
+  migrations_.push_back(std::make_unique<ShardMigration>());
+  ShardMigration* back = migrations_.back().get();
+  back->lo = aborted->lo;
+  back->hi = aborted->hi;
+  back->donor = aborted->receiver;    // keys drain back OUT of the receiver
+  back->receiver = aborted->donor;    // ... INTO the original donor
+  back->drained_below.store(back->lo, std::memory_order_relaxed);
+  return back;
+}
+
+ShardedMap::ActionResult ShardedMap::SplitShard(size_t index) {
+  if (!dynamic_) return ActionResult::kSkipped;
   std::lock_guard<std::mutex> lk(admin_mu_);
   const RoutingTable* cur = table();
   const size_t n = cur->entries.size();
-  if (index >= n) return false;
-  if (n >= options_.rebalance.max_shards) return false;
+  if (index >= n) return ActionResult::kSkipped;
+  if (n >= options_.rebalance.max_shards) return ActionResult::kSkipped;
   const RouteEntry e = cur->entries[index];
   ConcurrentMap* donor = e.tree;
   const Key lo = e.lo;
   const Key hi =
       index + 1 < n ? cur->entries[index + 1].lo - 1 : kMaxUserKey;
-  if (hi <= lo) return false;  // a single-key range cannot split
+  if (hi <= lo) return ActionResult::kSkipped;  // width-one range
 
   // Split at the median STORED key, not the range midpoint: under a
   // skewed workload the keys (and the load) concentrate in a slice of the
-  // range, and a midpoint split would leave one side empty.
-  const uint64_t total = donor->Size();
-  if (total < 2) return false;
-  const uint64_t half = total / 2;
+  // range, and a midpoint split would leave one side empty. Planning is
+  // control-plane: read ground truth.
   Key mid = 0;
-  uint64_t seen = 0;
-  donor->Scan(lo, hi, [&](Key k, Value) {
-    ++seen;
-    if (seen > half) {
-      mid = k;
-      return false;
-    }
-    return true;
-  });
+  {
+    FaultInjector::ScopedExemption exempt;
+    const uint64_t total = donor->Size();
+    if (total < 2) return ActionResult::kSkipped;
+    const uint64_t half = total / 2;
+    uint64_t seen = 0;
+    donor->Scan(lo, hi, [&](Key k, Value) {
+      ++seen;
+      if (seen > half) {
+        mid = k;
+        return false;
+      }
+      return true;
+    });
+  }
   if (mid <= lo) mid = lo + 1;
-  if (mid > hi) return false;
+  if (mid > hi) return ActionResult::kSkipped;
 
   auto fresh_owned = MakeTree();
-  if (!fresh_owned->init_status().ok()) return false;
+  if (!fresh_owned->init_status().ok()) return ActionResult::kSkipped;
   ConcurrentMap* fresh = fresh_owned.get();
   {
     std::lock_guard<std::mutex> tlk(trees_mu_);
@@ -597,7 +702,41 @@ bool ShardedMap::SplitShard(size_t index) {
       fresh_entry);
   PublishTable(std::move(next), /*wait_grace=*/true);
 
-  RunMigration(mig);
+  if (!RunMigration(mig)) {
+    // Abort -> donor-authoritative rollback (docs/REBALANCING.md §10).
+    // Point the upper half back at the donor FIRST, with a grace wait, so
+    // no straggler is still running the aborted migration's dual protocol
+    // when the reversed one starts moving keys; then drain everything the
+    // receiver got back into the donor, exempt from injection (rollback
+    // must terminate).
+    ShardMigration* back = MakeRollback(mig);
+    auto undo = std::make_unique<RoutingTable>(*table());
+    undo->entries[index + 1].tree = donor;
+    undo->entries[index + 1].mig = back;
+    PublishTable(std::move(undo), /*wait_grace=*/true);
+    bool rolled_back;
+    {
+      FaultInjector::ScopedExemption exempt;
+      rolled_back = RunMigration(back);
+    }
+    donor->tree()->stats()->Add(StatId::kMigrationRollbackKeys,
+                                back->keys_moved.load());
+    if (rolled_back) {
+      // The donor's own row covers [lo, hi] again; the stillborn shard
+      // leaves the table and stops costing maintenance.
+      auto clean = std::make_unique<RoutingTable>(*table());
+      clean->entries.erase(clean->entries.begin() +
+                           static_cast<std::ptrdiff_t>(index) + 1);
+      PublishTable(std::move(clean), /*wait_grace=*/false);
+      fresh->Quiesce();
+    } else {
+      // A rollback can only fail on a real (non-injected) error. Leave
+      // the range in dual mode permanently — slower but never lossy.
+      SetLastRebalanceError(Status::Internal(
+          "split rollback incomplete; range left in dual-lookup mode"));
+    }
+    return ActionResult::kFailed;
+  }
 
   // Retire the finished migration from the table so future traffic takes
   // the single-lookup fast path. No grace needed: stragglers on the old
@@ -608,16 +747,16 @@ bool ShardedMap::SplitShard(size_t index) {
   PublishTable(std::move(clean), /*wait_grace=*/false);
 
   fresh->tree()->stats()->Add(StatId::kRebalanceSplits);
-  return true;
+  return ActionResult::kOk;
 }
 
-bool ShardedMap::MergeShards(size_t left) {
-  if (!dynamic_) return false;
+ShardedMap::ActionResult ShardedMap::MergeShards(size_t left) {
+  if (!dynamic_) return ActionResult::kSkipped;
   std::lock_guard<std::mutex> lk(admin_mu_);
   const RoutingTable* cur = table();
   const size_t n = cur->entries.size();
-  if (left + 1 >= n) return false;
-  if (n <= options_.rebalance.min_shards) return false;
+  if (left + 1 >= n) return ActionResult::kSkipped;
+  if (n <= options_.rebalance.min_shards) return ActionResult::kSkipped;
   ConcurrentMap* receiver = cur->entries[left].tree;
   ConcurrentMap* donor = cur->entries[left + 1].tree;
   const Key lo = cur->entries[left + 1].lo;
@@ -639,7 +778,33 @@ bool ShardedMap::MergeShards(size_t left) {
   next->entries[left + 1].mig = mig;
   PublishTable(std::move(next), /*wait_grace=*/true);
 
-  RunMigration(mig);
+  if (!RunMigration(mig)) {
+    // Same rollback shape as SplitShard: restore the right range to its
+    // original (donor) tree with a grace wait, then drain back whatever
+    // reached the receiver, exempt from injection.
+    ShardMigration* back = MakeRollback(mig);
+    auto undo = std::make_unique<RoutingTable>(*table());
+    undo->entries[left + 1].tree = donor;
+    undo->entries[left + 1].mig = back;
+    PublishTable(std::move(undo), /*wait_grace=*/true);
+    bool rolled_back;
+    {
+      FaultInjector::ScopedExemption exempt;
+      rolled_back = RunMigration(back);
+    }
+    donor->tree()->stats()->Add(StatId::kMigrationRollbackKeys,
+                                back->keys_moved.load());
+    if (rolled_back) {
+      // The right shard is exactly as before the merge attempt.
+      auto clean = std::make_unique<RoutingTable>(*table());
+      clean->entries[left + 1].mig = nullptr;
+      PublishTable(std::move(clean), /*wait_grace=*/false);
+    } else {
+      SetLastRebalanceError(Status::Internal(
+          "merge rollback incomplete; range left in dual-lookup mode"));
+    }
+    return ActionResult::kFailed;
+  }
 
   // Coalesce: entry `left` now covers both ranges; the drained donor
   // leaves the table for good.
@@ -653,7 +818,7 @@ bool ShardedMap::MergeShards(size_t left) {
   // on stale table snapshots may still probe it) until the map dies.
   donor->Quiesce();
   receiver->tree()->stats()->Add(StatId::kRebalanceMerges);
-  return true;
+  return ActionResult::kOk;
 }
 
 }  // namespace obtree

@@ -162,6 +162,15 @@ class ShardedMap : private ShardRebalancer::Host {
   /// options.rebalance.enabled (tests drive TickForTest through this).
   ShardRebalancer* rebalancer() const { return rebalancer_.get(); }
 
+  /// The most recent migration failure (OK if none yet). Set when a
+  /// migration aborts after exhausting its batch retries or deadline and
+  /// rolls back; operators poll this next to Stats()'s
+  /// migration_aborts / rebalance_breaker_trips counters.
+  Status LastRebalanceError() const {
+    std::lock_guard<std::mutex> lk(last_error_mu_);
+    return last_rebalance_error_;
+  }
+
   /// Total background maintenance threads serving this map: the pool's
   /// fixed size in shared-pool mode (independent of num_shards), or the
   /// sum of per-shard workers in fallback mode (grows with num_shards).
@@ -182,9 +191,13 @@ class ShardedMap : private ShardRebalancer::Host {
   /// Force one split/merge synchronously, bypassing the controller policy
   /// (but not the mechanism: same migration protocol, same table swap).
   /// Requires rebalancing to be enabled; returns false when the action is
-  /// structurally impossible. Tests only.
-  bool DebugSplitShard(uint32_t index) { return SplitShard(index); }
-  bool DebugMergeShards(uint32_t left) { return MergeShards(left); }
+  /// structurally impossible or the migration aborted. Tests only.
+  bool DebugSplitShard(uint32_t index) {
+    return SplitShard(index) == ShardRebalancer::ActionResult::kOk;
+  }
+  bool DebugMergeShards(uint32_t left) {
+    return MergeShards(left) == ShardRebalancer::ActionResult::kOk;
+  }
 
  private:
   /// One in-flight (or completed) key-range migration. Readers hold raw
@@ -211,6 +224,8 @@ class ShardedMap : private ShardRebalancer::Host {
     /// Set once the whole range has drained; the entry's tree (the
     /// receiver) is then authoritative for every key.
     std::atomic<bool> done{false};
+    /// Keys actually moved donor -> receiver (rollback accounting).
+    std::atomic<uint64_t> keys_moved{0};
   };
 
   /// One row of the routing table: keys in [lo, next row's lo) are served
@@ -230,10 +245,12 @@ class ShardedMap : private ShardRebalancer::Host {
     std::vector<RouteEntry> entries;  ///< sorted by lo; entries[0].lo == 1
   };
 
+  using ActionResult = ShardRebalancer::ActionResult;
+
   // ShardRebalancer::Host (controller thread; serialized by admin_mu_).
   std::vector<ShardLoad> SnapshotLoads() override;
-  bool SplitShard(size_t index) override;
-  bool MergeShards(size_t left) override;
+  ActionResult SplitShard(size_t index) override;
+  ActionResult MergeShards(size_t left) override;
 
   const RoutingTable* table() const {
     return table_.load(std::memory_order_acquire);
@@ -282,7 +299,28 @@ class ShardedMap : private ShardRebalancer::Host {
   void PublishTable(std::unique_ptr<RoutingTable> next, bool wait_grace);
 
   /// Drain mig's range donor -> receiver in batches (admin_mu_ held).
-  void RunMigration(ShardMigration* mig);
+  /// Self-healing: each batch has a bounded retry budget with backoff,
+  /// the whole migration a wall-clock deadline. Returns false if it
+  /// aborted instead of draining — the caller must then roll back
+  /// (docs/REBALANCING.md §10). On abort, `drained_below` is never past a
+  /// key that failed to move, so invariant I1 still holds.
+  bool RunMigration(ShardMigration* mig);
+
+  /// Land an in-hand key (already removed from the donor, batch window
+  /// open): receiver first, exempt from fault injection after a few
+  /// honored attempts, donor as the last resort. Returns true if it
+  /// landed in the receiver, false if it fell back into the donor.
+  static bool LandKey(ShardMigration* mig, Key key, Value value);
+
+  /// Allocate the reversed migration used by an abort rollback: keys
+  /// drain back out of `aborted`'s receiver into its donor over the full
+  /// original range (admin_mu_ held).
+  ShardMigration* MakeRollback(const ShardMigration* aborted);
+
+  void SetLastRebalanceError(Status s) {
+    std::lock_guard<std::mutex> lk(last_error_mu_);
+    last_rebalance_error_ = std::move(s);
+  }
 
   /// Build a ConcurrentMap with this map's per-shard options.
   std::unique_ptr<ConcurrentMap> MakeTree();
@@ -318,6 +356,8 @@ class ShardedMap : private ShardRebalancer::Host {
   /// Serializes topology changes: controller actions and Debug* calls.
   std::mutex admin_mu_;
   MigrationHook migration_hook_;
+  mutable std::mutex last_error_mu_;
+  Status last_rebalance_error_;
   /// Declared last so it is destroyed FIRST: its destructor joins the
   /// controller thread before any state it steers goes away.
   std::unique_ptr<ShardRebalancer> rebalancer_;

@@ -8,6 +8,7 @@
 #include "obtree/core/queue_compressor.h"
 #include "obtree/core/sagiv_tree.h"
 #include "obtree/core/scan_compressor.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 
@@ -32,10 +33,22 @@ BackgroundPool::BackgroundPool(const Options& options) : options_(options) {
   if (options_.idle_sleep.count() <= 0) {
     options_.idle_sleep = std::chrono::milliseconds(1);
   }
+  if (options_.health_check_period.count() <= 0) {
+    options_.health_check_period = std::chrono::milliseconds(10);
+  }
   threads_started_ = options_.threads;
-  workers_.reserve(static_cast<size_t>(threads_started_));
+  worker_slots_.reserve(static_cast<size_t>(threads_started_));
   for (int i = 0; i < threads_started_; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    auto slot = std::make_unique<WorkerSlot>();
+    // alive is set by the SPAWNER: the supervisor must never mistake a
+    // thread that has not been scheduled yet for a dead one.
+    slot->alive.store(true, std::memory_order_release);
+    WorkerSlot* raw = slot.get();
+    slot->thread = std::thread([this, raw]() { WorkerLoop(raw); });
+    worker_slots_.push_back(std::move(slot));
+  }
+  if (options_.supervise) {
+    supervisor_ = std::thread([this]() { SupervisorLoop(); });
   }
 }
 
@@ -84,8 +97,15 @@ void BackgroundPool::Detach(uint64_t handle) {
   // worker sees `detached` and backs out, or Detach sees its increment of
   // `active` and waits for the matching EndWork.
   src->detached.store(true);
+  // Re-polling wait (not a plain wait): `active` is maintained by RAII
+  // scopes so a killed worker always releases its claim, but a bounded
+  // wait keeps Detach live even across a lost wakeup or a worker torn
+  // down between its decrement and its notify.
   std::unique_lock<std::mutex> lk(wake_mu_);
-  wake_cv_.wait(lk, [&]() { return src->active.load() == 0; });
+  while (src->active.load() != 0) {
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                      [&]() { return src->active.load() == 0; });
+  }
 }
 
 void BackgroundPool::Stop() {
@@ -94,10 +114,16 @@ void BackgroundPool::Stop() {
     std::lock_guard<std::mutex> lk(wake_mu_);
   }
   wake_cv_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  {
+    std::lock_guard<std::mutex> lk(sup_mu_);
   }
-  workers_.clear();
+  sup_cv_.notify_all();
+  // Join the supervisor FIRST so no respawn races the worker joins below.
+  if (supervisor_.joinable()) supervisor_.join();
+  for (auto& slot : worker_slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  worker_slots_.clear();
 }
 
 size_t BackgroundPool::num_sources() const {
@@ -130,6 +156,8 @@ PoolStatsSnapshot BackgroundPool::Stats() const {
   snap.boosts = boosts_.load(std::memory_order_relaxed);
   snap.steals = steals_.load(std::memory_order_relaxed);
   snap.idle_sleeps = idle_sleeps_.load(std::memory_order_relaxed);
+  snap.worker_deaths = worker_deaths_.load(std::memory_order_relaxed);
+  snap.worker_respawns = worker_respawns_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -227,6 +255,14 @@ BackgroundPool::RoundResult BackgroundPool::RunOneRound() {
 
   Source* src = local[pick].get();
   if (!BeginWork(src)) return RoundResult::kYield;  // detached in flight
+  // RAII release of the Detach claim: EVERY exit from here on — normal
+  // return, injected mid-drain kill, escaped exception — runs EndWork, so
+  // a dying worker can never wedge Detach() behind a leaked `active`.
+  struct ActiveScope {
+    BackgroundPool* pool;
+    Source* src;
+    ~ActiveScope() { pool->EndWork(src); }
+  } scope{this, src};
   RoundResult result = RoundResult::kIdle;
   if (src->queue != nullptr) {
     // Drain a small batch per pick: one scheduling round (registry
@@ -239,6 +275,13 @@ BackgroundPool::RoundResult BackgroundPool::RunOneRound() {
     // totals always cover its slices, even on weakly-ordered hardware.
     bool drained_any = false;
     for (int b = 0; b < kDrainBatch; ++b) {
+      // Failpoint: die mid-drain with the Detach claim held. ActiveScope
+      // releases it on the way out — exactly the leak the un-hardened
+      // Detach() would have hung on.
+      if (FaultInjector::TrapsArmed() &&
+          FaultInjector::Instance().Evaluate("pool-drain").inject_error) {
+        return RoundResult::kKilled;
+      }
       const QueueCompressor::Outcome outcome = src->drainer->CompressOne();
       if (outcome == QueueCompressor::Outcome::kQueueEmpty) break;
       drained_any = true;
@@ -274,7 +317,6 @@ BackgroundPool::RoundResult BackgroundPool::RunOneRound() {
       result = RoundResult::kWorked;
     }
   }
-  EndWork(src);
   // "No worker idles while work exists": a turn that found nothing (an
   // idle scan source, or a queue that raced to empty) must not sleep when
   // the depth scan saw backlog elsewhere — reschedule immediately so the
@@ -285,8 +327,15 @@ BackgroundPool::RoundResult BackgroundPool::RunOneRound() {
   return result;
 }
 
-void BackgroundPool::WorkerLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
+void BackgroundPool::WorkerLoop(WorkerSlot* slot) {
+  bool killed = false;
+  while (!killed && !stop_.load(std::memory_order_acquire)) {
+    // Failpoint: a worker that dies between rounds (kError) or stalls
+    // (kStall, performed inside Evaluate).
+    if (FaultInjector::TrapsArmed() &&
+        FaultInjector::Instance().Evaluate("pool-worker").inject_error) {
+      break;
+    }
     // Captured before the round: an Attach after this point changes the
     // generation and aborts the idle wait below, so a newly attached busy
     // shard is never stuck behind a full idle_sleep timeout.
@@ -296,6 +345,9 @@ void BackgroundPool::WorkerLoop() {
         break;
       case RoundResult::kYield:
         std::this_thread::yield();
+        break;
+      case RoundResult::kKilled:
+        killed = true;
         break;
       case RoundResult::kIdle: {
         idle_sleeps_.fetch_add(1, std::memory_order_relaxed);
@@ -307,6 +359,40 @@ void BackgroundPool::WorkerLoop() {
         break;
       }
     }
+  }
+  slot->alive.store(false, std::memory_order_release);
+  if (!stop_.load(std::memory_order_acquire)) {
+    // Premature exit (injected death), not a Stop(): account it and wake
+    // the supervisor so the respawn happens without waiting out a full
+    // health-check period.
+    worker_deaths_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(sup_mu_);
+    }
+    sup_cv_.notify_all();
+  }
+}
+
+void BackgroundPool::SupervisorLoop() {
+  std::unique_lock<std::mutex> lk(sup_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    sup_cv_.wait_for(lk, options_.health_check_period);
+    if (stop_.load(std::memory_order_acquire)) break;
+    // Drop sup_mu_ across join/spawn: a dying worker takes it to notify,
+    // so holding it while joining that worker would deadlock.
+    lk.unlock();
+    for (auto& slot : worker_slots_) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (slot->alive.load(std::memory_order_acquire)) continue;
+      if (!slot->thread.joinable()) continue;
+      slot->thread.join();
+      if (stop_.load(std::memory_order_acquire)) break;
+      worker_respawns_.fetch_add(1, std::memory_order_relaxed);
+      slot->alive.store(true, std::memory_order_release);
+      WorkerSlot* raw = slot.get();
+      slot->thread = std::thread([this, raw]() { WorkerLoop(raw); });
+    }
+    lk.lock();
   }
 }
 

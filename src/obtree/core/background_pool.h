@@ -68,6 +68,18 @@ class BackgroundPool {
     /// these turns are extra — they do not consume round-robin turns
     /// (0 disables boosting).
     int boost_period = 4;
+
+    /// Self-healing: run a supervisor thread that health-checks the
+    /// workers and respawns any that died (an injected kill via the
+    /// "pool-worker"/"pool-drain" failpoints, or an escaped exception
+    /// in a drain pass). A respawned worker re-enters the shared
+    /// scheduling loop, so every attached shard's service resumes — the
+    /// rotation is global, not partitioned per worker.
+    bool supervise = true;
+
+    /// How often the supervisor polls worker health (it is also woken
+    /// immediately by a dying worker).
+    std::chrono::milliseconds health_check_period{10};
   };
 
   /// Thread count used when Options::threads <= 0 (env override first).
@@ -129,14 +141,25 @@ class BackgroundPool {
     std::atomic<uint64_t> boosts{0};
   };
 
-  enum class RoundResult { kWorked, kYield, kIdle };
+  enum class RoundResult { kWorked, kYield, kIdle, kKilled };
+
+  /// One worker thread plus its liveness flag. `alive` is set by the
+  /// spawner BEFORE the thread starts (so the supervisor never joins a
+  /// thread that simply has not run yet) and cleared by the worker on
+  /// exit. Slots are stable for the pool's lifetime; only the thread
+  /// object inside is replaced on respawn.
+  struct WorkerSlot {
+    std::thread thread;
+    std::atomic<bool> alive{false};
+  };
 
   /// Tasks drained from one queue per scheduling round (amortizes the
   /// registry snapshot + depth scan while bounding how long a cold shard
   /// waits for its round-robin turn).
   static constexpr int kDrainBatch = 8;
 
-  void WorkerLoop();
+  void WorkerLoop(WorkerSlot* slot);
+  void SupervisorLoop();
   RoundResult RunOneRound();
 
   /// active++ unless the source is detached; returns false without side
@@ -170,8 +193,15 @@ class BackgroundPool {
   std::atomic<uint64_t> boosts_{0};
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> idle_sleeps_{0};
+  std::atomic<uint64_t> worker_deaths_{0};
+  std::atomic<uint64_t> worker_respawns_{0};
 
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> worker_slots_;
+
+  // Supervisor handshake: dying workers notify; Stop() notifies.
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  std::thread supervisor_;
 };
 
 }  // namespace obtree

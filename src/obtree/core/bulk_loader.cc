@@ -10,6 +10,7 @@
 #include "obtree/node/node.h"
 #include "obtree/storage/page_manager.h"
 #include "obtree/storage/prime_block.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 
@@ -92,6 +93,8 @@ std::vector<Built> BuildLevel(PageManager* pager, uint16_t level,
 Status BulkLoad(SagivTree* tree,
                 const std::vector<std::pair<Key, Value>>& pairs,
                 double fill) {
+  // Bulk construction is control-plane work: run it on ground truth.
+  FaultInjector::ScopedExemption exempt;
   if (tree->Size() != 0 || tree->Height() != 1) {
     return Status::InvalidArgument("bulk load requires an empty tree");
   }
@@ -165,6 +168,8 @@ Status BulkLoad(SagivTree* tree,
 }
 
 Status DumpTree(const SagivTree& tree, std::ostream* out) {
+  // A backup must capture ground truth, never an injected fault's view.
+  FaultInjector::ScopedExemption exempt;
   out->write(kMagic, sizeof(kMagic));
   const uint32_t k = tree.options().min_entries;
   out->write(reinterpret_cast<const char*>(&k), sizeof(k));

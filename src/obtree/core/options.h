@@ -94,6 +94,18 @@ struct TreeOptions {
   /// round also yields so a preempted holder can run on few-core hosts).
   uint32_t lock_backoff_max = 256;
 
+  /// Fault tolerance: how many times a descent re-issues a page fetch
+  /// that reported Status::Unavailable (an injected — or, once a real
+  /// PageStore exists, a real — transient I/O error) before giving up and
+  /// surfacing the error to the operation. Each retry backs off
+  /// exponentially from fetch_retry_backoff_us. Retries are counted as
+  /// StatId::kFetchRetries, exhaustions as kFetchGiveups.
+  int fetch_retry_limit = 4;
+
+  /// Base backoff between fetch retries, in microseconds (doubles per
+  /// attempt, capped at 64x). 0 retries immediately.
+  uint32_t fetch_retry_backoff_us = 2;
+
   /// Simulated block-device latency per page get/put, in nanoseconds
   /// (0 = pure in-memory). The paper's nodes live on secondary storage;
   /// enabling this reproduces the I/O-bound regime its concurrency
@@ -119,6 +131,9 @@ struct TreeOptions {
     }
     if (lock_backoff_max < 1) {
       return Status::InvalidArgument("lock_backoff_max must be positive");
+    }
+    if (fetch_retry_limit < 0) {
+      return Status::InvalidArgument("fetch_retry_limit must be >= 0");
     }
     return Status::OK();
   }
@@ -186,6 +201,27 @@ struct RebalanceOptions {
   /// migration's own inserts/deletes never feed the next hotness score.
   uint32_t cooldown_periods = 2;
 
+  /// Self-healing: consecutive failed batches a migration tolerates
+  /// (each retried with backoff from the same scan position) before the
+  /// whole migration aborts and rolls back to the donor.
+  uint32_t migration_retry_limit = 3;
+
+  /// Watchdog: wall-clock budget for one migration, in milliseconds.
+  /// A migration that cannot finish within the deadline (stalled batches,
+  /// persistent fetch errors) aborts at the next batch boundary and rolls
+  /// back. 0 disables the deadline.
+  uint32_t migration_deadline_ms = 10000;
+
+  /// Circuit breaker: after this many CONSECUTIVE failed split/merge
+  /// actions (a failure = migration aborted + rolled back; a skipped
+  /// action — e.g. nothing to merge — does not count) the controller
+  /// stops attempting actions entirely.
+  uint32_t max_consecutive_failures = 3;
+
+  /// Periods the tripped breaker stays open before re-arming (half-open:
+  /// the next action's outcome decides whether it trips again).
+  uint32_t breaker_cooldown_periods = 16;
+
   Status Validate() const {
     if (period_ms == 0) {
       return Status::InvalidArgument("rebalance period_ms must be positive");
@@ -204,6 +240,10 @@ struct RebalanceOptions {
     }
     if (migration_batch < 1) {
       return Status::InvalidArgument("migration_batch must be positive");
+    }
+    if (max_consecutive_failures < 1) {
+      return Status::InvalidArgument(
+          "max_consecutive_failures must be positive");
     }
     return Status::OK();
   }

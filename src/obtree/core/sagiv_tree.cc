@@ -3,6 +3,7 @@
 #include "obtree/core/sagiv_tree.h"
 
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "obtree/core/compression_queue.h"
@@ -191,6 +192,28 @@ void SagivTree::AttachCompressionQueue(CompressionQueue* queue) {
 // Descending
 // ---------------------------------------------------------------------------
 
+Status SagivTree::FetchPage(PageId id, Page* out) const {
+  Status s = pager_->Get(id, out);
+  if (s.ok()) return s;
+  // Transient fetch failure (injected today; a real PageStore's I/O error
+  // tomorrow): bounded retry with exponential backoff before surfacing
+  // Unavailable to the operation. Only the lock-free descents come through
+  // here — locked fetches cannot fail (see PageManager::Get).
+  for (int attempt = 0; attempt < options_.fetch_retry_limit; ++attempt) {
+    stats_->Add(StatId::kFetchRetries);
+    const uint32_t base = options_.fetch_retry_backoff_us;
+    if (base > 0) {
+      const int shift = attempt < 6 ? attempt : 6;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<uint64_t>(base) << shift));
+    }
+    s = pager_->Get(id, out);
+    if (s.ok()) return s;
+  }
+  stats_->Add(StatId::kFetchGiveups);
+  return s;
+}
+
 void SagivTree::CountRestart(RestartCause cause) const {
   stats_->Add(StatId::kRestarts);
   switch (cause) {
@@ -328,7 +351,8 @@ Result<PageId> SagivTree::CopyFindNodeAtLevel(Key key, uint32_t level,
       if (steps > kMaxStepsPerAttempt) {
         return Status::Internal("descent did not terminate");
       }
-      pager_->Get(current, &page);
+      Status gs = FetchPage(current, &page);
+      if (!gs.ok()) return gs;
       if (node->is_deleted()) {
         const PageId target = node->merge_target;
         if (target == kInvalidPageId) {
@@ -384,7 +408,8 @@ Status SagivTree::DescendToLeaf(Key key, EpochManager::Guard* guard,
       if (steps > kMaxStepsPerAttempt) {
         return Status::Internal("descent did not terminate");
       }
-      pager_->Get(current, page);
+      Status gs = FetchPage(current, page);
+      if (!gs.ok()) return gs;
       bool wrong = false;
       if (node->is_deleted()) {
         const PageId target = node->merge_target;
@@ -713,9 +738,10 @@ size_t SagivTree::CopyScan(Key next_key, Key hi,
     const PageId link = node->link;
     have_leaf = false;
     if (link != kInvalidPageId) {
-      pager_->Get(link, &page);
-      if (!node->is_deleted() && node->is_leaf() && next_key > node->low &&
-          next_key <= node->high) {
+      // A failed link fetch just falls back to a fresh descent (which
+      // retries with backoff); the page image is only trusted on OK.
+      if (pager_->Get(link, &page).ok() && !node->is_deleted() &&
+          node->is_leaf() && next_key > node->low && next_key <= node->high) {
         stats_->Add(StatId::kLinkFollows);
         have_leaf = true;
       }
@@ -739,6 +765,8 @@ Result<PageId> SagivTree::AcquireTargetNode(Key ins_key, uint32_t level,
       return Status::Internal("moveright did not terminate");
     }
     pager_->Lock(current);
+    // Locked fetches cannot fail: fault errors target lock-free readers
+    // only (see PageManager::Get).
     pager_->Get(current, page);
     RestartCause cause = RestartCause::kNone;
     if (node->is_deleted()) {
@@ -1082,7 +1110,8 @@ Status SagivTree::Insert(Key key, Value value) {
     } else {
       if (locked_inplace) {
         // Splits keep copy semantics: pay the copy-out the in-place
-        // acquire skipped, under the lock we already hold.
+        // acquire skipped, under the lock we already hold (locked fetches
+        // cannot fail).
         pager_->Get(current, &page);
         view = node;
       }

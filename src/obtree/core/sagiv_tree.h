@@ -161,6 +161,12 @@ class SagivTree {
  private:
   void CountRestart(RestartCause cause) const;
 
+  // Fault-tolerant page fetch for the lock-free descents: retries an
+  // Unavailable Get up to options().fetch_retry_limit times with
+  // exponential backoff (kFetchRetries per retry, kFetchGiveups on
+  // exhaustion) before surfacing the error to the operation.
+  Status FetchPage(PageId id, Page* out) const;
+
   // Copy-read search descent (the fallback path, and the only path when
   // options().optimistic_reads is false): movedown + moveright without
   // locking. Fills *page with the image of the leaf whose range contains

@@ -8,6 +8,7 @@
 #include "obtree/node/node.h"
 #include "obtree/storage/page_manager.h"
 #include "obtree/storage/prime_block.h"
+#include "obtree/util/fault_injector.h"
 #include "obtree/util/stats.h"
 
 namespace obtree {
@@ -244,6 +245,8 @@ size_t ScanCompressor::CompressLevel(uint32_t level) {
 }
 
 size_t ScanCompressor::FullPass() {
+  // Maintenance reads must see ground truth (see QueueCompressor).
+  FaultInjector::ScopedExemption exempt;
   size_t work = 0;
   const uint32_t levels = tree_->internal_prime()->Read().num_levels;
   for (uint32_t level = 0; level + 1 < levels; ++level) {

@@ -97,6 +97,20 @@ void ShardRebalancer::Tick() {
   baseline_.clear();
   for (const ShardLoad& l : loads) baseline_[l.id] = l;
 
+  // Breaker gate. While open the controller still snapshots and
+  // re-baselines (above) but refuses to act; when the open window
+  // expires it re-arms half-open, where exactly one probe action is
+  // allowed and a single failure re-trips.
+  if (breaker_open_) {
+    if (breaker_reopen_in_ > 0) {
+      --breaker_reopen_in_;
+      return;
+    }
+    breaker_open_ = false;
+    half_open_ = true;
+    breaker_open_flag_.store(false, std::memory_order_relaxed);
+  }
+
   if (cooldown_ > 0) {
     --cooldown_;
     return;
@@ -115,10 +129,15 @@ void ShardRebalancer::Tick() {
   }
   if (weight[hot] > options_.hotness_threshold * fair &&
       n < options_.max_shards && loads[hot].keys >= options_.min_keys_to_split) {
-    if (host_->SplitShard(hot)) {
+    const ActionResult r = NoteAction(host_->SplitShard(hot));
+    if (r == ActionResult::kOk) {
       splits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (r != ActionResult::kSkipped) {
+      // Both success and an aborted/rolled-back migration perturbed the
+      // shards: enforce quiet and re-take the baseline before scoring.
       cooldown_ = options_.cooldown_periods;
-      baseline_.clear();  // the action changed the topology: observe first
+      baseline_.clear();
     }
     return;
   }
@@ -136,13 +155,43 @@ void ShardRebalancer::Tick() {
       }
     }
     if (best_sum < options_.cold_threshold * fair) {
-      if (host_->MergeShards(best)) {
+      const ActionResult r = NoteAction(host_->MergeShards(best));
+      if (r == ActionResult::kOk) {
         merges_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (r != ActionResult::kSkipped) {
         cooldown_ = options_.cooldown_periods;
         baseline_.clear();
       }
     }
   }
+}
+
+ShardRebalancer::ActionResult ShardRebalancer::NoteAction(
+    ActionResult result) {
+  switch (result) {
+    case ActionResult::kOk:
+      consecutive_failures_ = 0;
+      half_open_ = false;
+      break;
+    case ActionResult::kSkipped:
+      // Benign "not now": neither failure evidence nor recovery evidence.
+      break;
+    case ActionResult::kFailed:
+      failed_actions_.fetch_add(1, std::memory_order_relaxed);
+      ++consecutive_failures_;
+      if (half_open_ ||
+          consecutive_failures_ >= options_.max_consecutive_failures) {
+        breaker_open_ = true;
+        half_open_ = false;
+        breaker_reopen_in_ = options_.breaker_cooldown_periods;
+        consecutive_failures_ = 0;
+        breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+        breaker_open_flag_.store(true, std::memory_order_relaxed);
+      }
+      break;
+  }
+  return result;
 }
 
 }  // namespace obtree

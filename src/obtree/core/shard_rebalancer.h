@@ -50,6 +50,13 @@ struct ShardLoad {
 /// Periodic split/merge controller (see file comment).
 class ShardRebalancer {
  public:
+  /// How one host action ended. The distinction between kSkipped and
+  /// kFailed drives the circuit breaker: a skip ("not possible right
+  /// now" — range of width one, at max_shards) is benign and resets
+  /// nothing, while a failure (a migration that started and had to be
+  /// aborted/rolled back) counts toward tripping the breaker.
+  enum class ActionResult { kOk, kSkipped, kFailed };
+
   /// What the controller needs from the sharded map it steers. Calls
   /// arrive on the controller thread (or from TickForTest), one at a
   /// time, never concurrently with each other.
@@ -62,15 +69,14 @@ class ShardRebalancer {
     virtual std::vector<ShardLoad> SnapshotLoads() = 0;
 
     /// Split shard `index` by migrating its upper half into a fresh
-    /// tree. Synchronous: returns after the migration completes. False
-    /// if the split is not currently possible (range of width one,
-    /// already at max_shards, ...); the controller just waits for the
-    /// next period.
-    virtual bool SplitShard(size_t index) = 0;
+    /// tree. Synchronous: returns after the migration completes (or
+    /// aborts). kSkipped if the split is not currently possible; the
+    /// controller just waits for the next period.
+    virtual ActionResult SplitShard(size_t index) = 0;
 
     /// Merge shard `left + 1` into shard `left` (the right tree drains
-    /// into the left). Synchronous; false if not currently possible.
-    virtual bool MergeShards(size_t left) = 0;
+    /// into the left). Synchronous; kSkipped if not currently possible.
+    virtual ActionResult MergeShards(size_t left) = 0;
   };
 
   /// Neither starts the thread (call Start) nor validates options — the
@@ -102,9 +108,26 @@ class ShardRebalancer {
     return periods_.load(std::memory_order_relaxed);
   }
 
+  // Degradation introspection (see the breaker state machine in
+  // docs/ARCHITECTURE.md). failed_actions counts host actions that
+  // returned kFailed; breaker_trips counts closed->open transitions.
+  uint64_t failed_actions() const {
+    return failed_actions_.load(std::memory_order_relaxed);
+  }
+  uint64_t breaker_trips() const {
+    return breaker_trips_.load(std::memory_order_relaxed);
+  }
+  /// True while the breaker refuses actions (observe-only ticks).
+  bool breaker_open() const {
+    return breaker_open_flag_.load(std::memory_order_relaxed);
+  }
+
  private:
   void RunLoop();
   void Tick();
+  /// Apply one action result to the breaker state. Returns result so the
+  /// call nests around the host call. Caller holds tick_mu_.
+  ActionResult NoteAction(ActionResult result);
 
   Host* const host_;
   const RebalanceOptions options_;
@@ -115,9 +138,21 @@ class ShardRebalancer {
   std::unordered_map<const void*, ShardLoad> baseline_;
   uint32_t cooldown_ = 0;  ///< periods left before acting again
 
+  // Circuit breaker (all under tick_mu_). Closed: act normally, counting
+  // consecutive kFailed results. Open: act on nothing for
+  // breaker_cooldown_periods ticks. Half-open: one probe action is
+  // allowed; kFailed re-trips immediately, kOk closes the breaker.
+  uint32_t consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  bool half_open_ = false;
+  uint32_t breaker_reopen_in_ = 0;
+
   std::atomic<uint64_t> splits_{0};
   std::atomic<uint64_t> merges_{0};
   std::atomic<uint64_t> periods_{0};
+  std::atomic<uint64_t> failed_actions_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<bool> breaker_open_flag_{false};  ///< lock-free mirror
 
   std::mutex mu_;  ///< guards stop_ for the cv wait
   std::condition_variable cv_;

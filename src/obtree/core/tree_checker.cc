@@ -7,6 +7,7 @@
 #include "obtree/node/node.h"
 #include "obtree/storage/page_manager.h"
 #include "obtree/storage/prime_block.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 
@@ -47,6 +48,8 @@ std::string TreeShape::ToString() const {
 }
 
 Status TreeChecker::CheckStructure(bool require_half_full) const {
+  // The audit must see ground truth even while fault schedules are armed.
+  FaultInjector::ScopedExemption exempt;
   PageManager* pager = tree_->internal_pager();
   const PrimeBlockData pb = tree_->internal_prime()->Read();
   if (pb.num_levels == 0 || pb.num_levels > kMaxLevels) {

@@ -8,6 +8,7 @@
 #include "obtree/node/node.h"
 #include "obtree/storage/page_manager.h"
 #include "obtree/storage/prime_block.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 
@@ -46,6 +47,8 @@ void PrintNode(std::ostream* os, PageId page, const Node& node,
 
 void DumpStructure(const SagivTree& tree, std::ostream* os,
                    const DumpOptions& options) {
+  // Diagnostics read ground truth, never injected faults.
+  FaultInjector::ScopedExemption exempt;
   PageManager* pager = tree.internal_pager();
   const PrimeBlockData pb = tree.internal_prime()->Read();
   Page page;

@@ -58,9 +58,20 @@ PageManager::PageManager(EpochManager* epoch, StatsCollector* stats)
 }
 
 PageManager::~PageManager() {
+  // Drop our share of the shared trap gate if a hook is still installed.
+  if (test_hook_ != nullptr) FaultInjector::ReleaseTrapRef();
   for (auto& c : chunks_) {
     delete c.load(std::memory_order_relaxed);
   }
+}
+
+bool PageManager::TrapSlow(const char* op, PageId id,
+                           bool error_eligible) const {
+  if (has_test_hook_.load(std::memory_order_acquire)) test_hook_(op, id);
+  const FaultOutcome f =
+      FaultInjector::Instance().Evaluate(op, error_eligible);
+  if (f.inject_error) stats_->Add(StatId::kFaultsInjected);
+  return f.inject_error;
 }
 
 PageManager::Slot* PageManager::SlotFor(PageId id) const {
@@ -81,6 +92,12 @@ void PageManager::EnsureChunk(size_t chunk_index) {
 }
 
 Result<PageId> PageManager::Allocate() {
+  if (MaybeTrap("alloc", kInvalidPageId, /*error_eligible=*/true)) {
+    // Protocol error paths (split/root-creation failures) already unlock
+    // everything and leave the tree valid — the allocation-budget tests
+    // prove it; this site exercises the same paths probabilistically.
+    return Status::Unavailable("injected allocation fault");
+  }
   int64_t budget = allocation_budget_.load(std::memory_order_relaxed);
   if (budget >= 0) {
     for (;;) {
@@ -136,7 +153,14 @@ void PageManager::MaybeSimulateIo() const {
   std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
 }
 
-void PageManager::Get(PageId id, Page* out) const {
+Status PageManager::Get(PageId id, Page* out) const {
+  if (MaybeTrap("get", id, /*error_eligible=*/tl_locks_held == 0)) {
+    // Injected fetch failure: hand back an inert zeroed image so a caller
+    // that ignores the status decodes an empty node (restart / no-op),
+    // never stale garbage. `out` is caller-private; plain stores suffice.
+    std::memset(out->bytes, 0, kPageSize);
+    return Status::Unavailable("injected page-fetch failure");
+  }
   MaybeSimulateIo();
   Slot* slot = SlotFor(id);
   for (;;) {
@@ -148,9 +172,15 @@ void PageManager::Get(PageId id, Page* out) const {
     if (s1 == s2) break;
   }
   stats_->Add(StatId::kGets);
+  return Status::OK();
 }
 
 PageManager::ReadGuard PageManager::OptimisticRead(PageId id) const {
+  if (MaybeTrap("get", id, /*error_eligible=*/tl_locks_held == 0)) {
+    // Injected fetch failure: an invalid guard, which the optimistic read
+    // paths already treat as a torn read (retry, then copy fallback).
+    return ReadGuard();
+  }
   MaybeSimulateIo();
   const Slot* slot = SlotFor(id);
   const uint64_t version = slot->seq.load(std::memory_order_acquire);
@@ -168,7 +198,7 @@ PageManager::WriteGuard PageManager::BeginWrite(PageId id) {
   // Fire the "put" hook BEFORE taking the seqlock odd, mirroring Put: a
   // test pausing a writer here holds the paper lock but leaves the page
   // readable (the storage-model property the interleaving tests assert).
-  MaybeTestHook("put", id);
+  MaybeTrap("put", id, /*error_eligible=*/false);
   assert(LocksHeldByThisThread() > 0);  // the paper lock is the mutator license
   Slot* slot = SlotFor(id);
   // The caller's paper lock excludes every Put/BeginWrite on this page;
@@ -188,7 +218,7 @@ PageManager::WriteGuard PageManager::BeginWrite(PageId id) {
 }
 
 void PageManager::Put(PageId id, const Page& in) {
-  MaybeTestHook("put", id);
+  MaybeTrap("put", id, /*error_eligible=*/false);
   MaybeSimulateIo();
   Slot* slot = SlotFor(id);
   // Serialize concurrent puts on the same page via the seqlock's odd state.
@@ -233,7 +263,7 @@ bool PageManager::LockContended(Slot* slot, bool bounded) {
 }
 
 void PageManager::Lock(PageId id) {
-  MaybeTestHook("lock", id);
+  MaybeTrap("lock", id, /*error_eligible=*/false);
   Slot* slot = SlotFor(id);
   if (!slot->paper_lock.TryLock()) {
     LockContended(slot, /*bounded=*/false);
@@ -252,7 +282,7 @@ bool PageManager::TryLock(PageId id) {
 }
 
 bool PageManager::TryLockSpin(PageId id) {
-  MaybeTestHook("lock", id);
+  MaybeTrap("lock", id, /*error_eligible=*/false);
   Slot* slot = SlotFor(id);
   if (!slot->paper_lock.TryLock() && !LockContended(slot, /*bounded=*/true)) {
     return false;
@@ -264,7 +294,7 @@ bool PageManager::TryLockSpin(PageId id) {
 }
 
 void PageManager::Unlock(PageId id) {
-  MaybeTestHook("unlock", id);
+  MaybeTrap("unlock", id, /*error_eligible=*/false);
   tl_locks_held--;
   assert(tl_locks_held >= 0);
   SlotFor(id)->paper_lock.Unlock();

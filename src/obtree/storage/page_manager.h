@@ -39,6 +39,7 @@
 #include "obtree/storage/paper_lock.h"
 #include "obtree/util/common.h"
 #include "obtree/util/epoch.h"
+#include "obtree/util/fault_injector.h"
 #include "obtree/util/stats.h"
 #include "obtree/util/status.h"
 
@@ -57,16 +58,25 @@ class PageManager {
   /// Allocate a zeroed page. Reuses reclaimable retired pages first.
   Result<PageId> Allocate();
 
-  /// Test-only interleaving hook: when set, invoked at the entry of Put
-  /// ("put"), Lock ("lock") and Unlock ("unlock") with the page id. Tests
-  /// use it to pause a protocol thread at an exact point (e.g. after a
-  /// merge wrote the gaining child but before the parent) and observe the
-  /// tree from other threads. Set/clear only while those calls cannot
-  /// race the change.
+  /// Test-only interleaving hook: when set, invoked at the entry of Get
+  /// ("get"), Put/BeginWrite ("put"), Lock/TryLockSpin ("lock") and Unlock
+  /// ("unlock") with the page id. Tests use it to pause a protocol thread
+  /// at an exact point (e.g. after a merge wrote the gaining child but
+  /// before the parent) and observe the tree from other threads. Set/clear
+  /// only while those calls cannot race the change.
+  ///
+  /// Hooks and FaultInjector failpoints share one site-naming scheme (the
+  /// op string IS the failpoint site) and one hot-path gate: when neither
+  /// a hook nor any fault site is armed, every call collapses to a single
+  /// relaxed atomic load (FaultInjector::TrapsArmed()).
   using TestHook = std::function<void(const char* op, PageId id)>;
   void SetTestHook(TestHook hook) {
+    const bool had = test_hook_ != nullptr;
     test_hook_ = std::move(hook);
-    has_test_hook_.store(test_hook_ != nullptr, std::memory_order_release);
+    const bool has = test_hook_ != nullptr;
+    has_test_hook_.store(has, std::memory_order_release);
+    if (has && !had) FaultInjector::AddTrapRef();
+    if (!has && had) FaultInjector::ReleaseTrapRef();
   }
 
   /// Fault injection for tests: after `n` more successful allocations,
@@ -78,7 +88,17 @@ class PageManager {
   }
 
   /// Indivisible read of a page into *out (the paper's get(x)).
-  void Get(PageId id, Page* out) const;
+  ///
+  /// Fallible: with a fault armed on site "get" this can return
+  /// Status::Unavailable — the future PageStore backend's transient I/O
+  /// error, simulated. On failure *out is zeroed, which a page-format
+  /// reader decodes as an inert empty node: a caller that ignores the
+  /// status (maintenance code runs exempt; legacy baselines are not
+  /// fault-hardened) restarts or no-ops instead of acting on garbage.
+  /// Errors are only injected into lock-free readers (threads holding a
+  /// paper lock are immune — their reads sit between mutation steps where
+  /// "retry later" is not an option); stalls can hit anyone.
+  Status Get(PageId id, Page* out) const;
 
   /// Handle for an optimistic in-place read of one page: the live page
   /// plus the seqlock version observed at acquisition. The page content
@@ -327,9 +347,15 @@ class PageManager {
   std::atomic<bool> has_test_hook_{false};
   TestHook test_hook_;
 
-  void MaybeTestHook(const char* op, PageId id) const {
-    if (has_test_hook_.load(std::memory_order_acquire)) test_hook_(op, id);
+  // Unified trap point: fires the test hook (if installed) and evaluates
+  // the failpoint site named `op`. Returns true when an error fault must
+  // be injected (only call sites that pass error_eligible and handle the
+  // return can see true). One relaxed load when nothing is armed anywhere.
+  bool MaybeTrap(const char* op, PageId id, bool error_eligible) const {
+    if (!FaultInjector::TrapsArmed()) return false;
+    return TrapSlow(op, id, error_eligible);
   }
+  bool TrapSlow(const char* op, PageId id, bool error_eligible) const;
 
   // Chunk directory: atomic pointers so readers can index while the
   // allocator grows the arena.

@@ -47,6 +47,12 @@ const char* StatName(StatId id) {
     case StatId::kRebalanceMerges: return "rebalance_merges";
     case StatId::kKeysMigrated: return "keys_migrated";
     case StatId::kMigrationRetries: return "migration_retries";
+    case StatId::kFaultsInjected: return "faults_injected";
+    case StatId::kFetchRetries: return "fetch_retries";
+    case StatId::kFetchGiveups: return "fetch_giveups";
+    case StatId::kMigrationAborts: return "migration_aborts";
+    case StatId::kMigrationRollbackKeys: return "migration_rollback_keys";
+    case StatId::kRebalanceBreakerTrips: return "rebalance_breaker_trips";
     case StatId::kSearches: return "searches";
     case StatId::kInserts: return "inserts";
     case StatId::kDeletes: return "deletes";
@@ -94,6 +100,13 @@ std::string PoolStatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(boosts),
                 static_cast<unsigned long long>(steals), IdleRatio());
   out += line;
+  if (worker_deaths > 0 || worker_respawns > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  pool health: %llu worker deaths, %llu respawns\n",
+                  static_cast<unsigned long long>(worker_deaths),
+                  static_cast<unsigned long long>(worker_respawns));
+    out += line;
+  }
   for (const PoolShardStats& s : shards) {
     std::snprintf(line, sizeof(line),
                   "  shard #%llu: drained %llu, restructures %llu, "

@@ -88,6 +88,22 @@ enum class StatId : int {
                          ///< in-flight batch window and waited it out
                          ///< before the second lookup (attributed to the
                          ///< donor tree)
+  kFaultsInjected,       ///< faults fired into this tree's page layer by
+                         ///< the FaultInjector (errors only; stalls are
+                         ///< invisible here)
+  kFetchRetries,         ///< page fetches re-issued after an Unavailable
+                         ///< result (bounded retry-with-backoff)
+  kFetchGiveups,         ///< fetches that exhausted the retry budget and
+                         ///< surfaced Unavailable to the operation
+  kMigrationAborts,      ///< shard migrations abandoned (deadline or
+                         ///< retry exhaustion) and rolled back to the
+                         ///< donor (attributed to the original donor)
+  kMigrationRollbackKeys,  ///< keys moved back to their original tree by
+                           ///< a migration rollback
+  kRebalanceBreakerTrips,  ///< times the rebalancer circuit breaker
+                           ///< opened after max_consecutive_failures
+                           ///< (summed into ShardedMap::Stats() from the
+                           ///< rebalancer; not counted on any one tree)
   kSearches,             ///< logical search operations
   kInserts,              ///< logical insert operations
   kDeletes,              ///< logical delete operations
@@ -159,6 +175,10 @@ struct PoolStatsSnapshot {
   uint64_t steals = 0;         ///< empty round-robin turns redirected to
                                ///< the deepest non-empty queue
   uint64_t idle_sleeps = 0;    ///< rounds that found no work and slept
+  uint64_t worker_deaths = 0;  ///< workers that exited their loop early
+                               ///< (injected kill or escaped exception)
+  uint64_t worker_respawns = 0;  ///< dead workers replaced by the
+                                 ///< supervisor's health check
   std::vector<PoolShardStats> shards;  ///< live shards, in attach order
                                        ///< (NOT shard-index order; join on
                                        ///< `handle`)

@@ -25,6 +25,7 @@ class Status {
     kResourceExhausted = 4,
     kAborted = 5,
     kInternal = 6,
+    kUnavailable = 7,
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +49,11 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// Transient failure (e.g. an injected or real page-fetch error): the
+  /// operation did not happen and may be retried.
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -58,6 +64,7 @@ class Status {
   }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

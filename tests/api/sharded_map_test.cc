@@ -349,7 +349,9 @@ TEST(ShardedMapTest, SharedPoolBoundsBackgroundThreads) {
       EXPECT_EQ(map.shard(s)->attached_pool(), map.pool());
     }
     if (baseline > 0) {
-      EXPECT_EQ(LiveThreadCount(), baseline + 4);
+      // 4 pool workers + 1 pool supervisor (BackgroundPool::Options::
+      // supervise defaults on).
+      EXPECT_EQ(LiveThreadCount(), baseline + 5);
     }
 
     // The pool actually maintains the shards: churn, then wait for queues

@@ -22,6 +22,7 @@
 #include "obtree/core/compression_queue.h"
 #include "obtree/core/sagiv_tree.h"
 #include "obtree/core/tree_checker.h"
+#include "obtree/util/fault_injector.h"
 
 namespace obtree {
 namespace {
@@ -110,7 +111,8 @@ TEST(BackgroundPoolTest, DrainsManyShardsWithFewThreads) {
     }
     EXPECT_EQ(pool.num_sources(), shards.size());
     if (baseline > 0) {
-      EXPECT_EQ(LiveThreadCount(), baseline + 2);
+      // 2 workers + 1 supervisor (Options::supervise defaults on).
+      EXPECT_EQ(LiveThreadCount(), baseline + 3);
     }
 
     for (size_t i = 0; i < shards.size(); ++i) {
@@ -327,6 +329,90 @@ TEST(BackgroundPoolTest, ScanModeSourceCompacts) {
   EXPECT_LE(tree.Height(), 2u);
   EXPECT_LT(tree.Height(), tall);
   EXPECT_TRUE(TreeChecker(&tree).CheckStructure().ok());
+}
+
+TEST(BackgroundPoolTest, DetachSurvivesWorkerKilledMidDrain) {
+  // Regression: a worker dying between BeginWork and EndWork used to leak
+  // its `active` claim, and Detach (a plain cv wait on active == 0) hung
+  // forever — which is exactly the ConcurrentMap::ShutdownMaintenance /
+  // map-destructor path. With RAII active scopes the claim is always
+  // released, and the supervisor respawns the dead worker.
+  Shard shard;
+  Churn(&shard, 1, 2000);
+  ASSERT_FALSE(shard.queue->Empty());
+
+  BackgroundPool::Options options;
+  options.threads = 2;
+  options.supervise = true;
+  options.health_check_period = milliseconds(2);
+  BackgroundPool pool(options);
+
+  // Every drain attempt kills the worker mid-batch for a while.
+  FaultSpec kill;
+  kill.action = FaultAction::kError;
+  kill.max_fires = 6;
+  FaultInjector::Instance().Arm("pool-drain", kill);
+
+  const uint64_t handle = pool.Attach(shard.tree.get(), shard.queue.get());
+
+  // Wait until every scheduled kill has fired (each one is a worker death
+  // with the Detach claim held at the moment of death).
+  const auto until = steady_clock::now() + milliseconds(10'000);
+  while (FaultInjector::Instance().SiteStats("pool-drain").fires < 6 &&
+         steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(FaultInjector::Instance().SiteStats("pool-drain").fires, 6u);
+  FaultInjector::Instance().DisarmAll();
+
+  // Detach must complete even though workers died holding the shard.
+  pool.Detach(handle);
+
+  // The last kill's respawn may still be in the supervisor's hands.
+  while (pool.Stats().worker_respawns < 6 && steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  const PoolStatsSnapshot stats = pool.Stats();
+  EXPECT_GE(stats.worker_deaths, 6u);
+  EXPECT_GE(stats.worker_respawns, 6u);  // supervisor brought them back
+  EXPECT_TRUE(TreeChecker(shard.tree.get()).CheckStructure().ok());
+
+  // Respawned workers still drain: re-attach and the queue empties.
+  Churn(&shard, 2001, 4000);
+  const uint64_t again = pool.Attach(shard.tree.get(), shard.queue.get());
+  EXPECT_TRUE(WaitForEmpty(shard.queue.get(), milliseconds(10'000)));
+  pool.Detach(again);
+  EXPECT_TRUE(TreeChecker(shard.tree.get()).CheckStructure().ok());
+}
+
+TEST(BackgroundPoolTest, UnsupervisedPoolStillDetachesAfterAllWorkersDie) {
+  // With supervision off, dead workers stay dead (deaths count, respawns
+  // do not) — but Detach and Stop must still return.
+  Shard shard;
+  Churn(&shard, 1, 500);
+
+  BackgroundPool::Options options;
+  options.threads = 1;
+  options.supervise = false;
+  BackgroundPool pool(options);
+
+  FaultSpec kill;
+  kill.action = FaultAction::kError;
+  kill.max_fires = 1;
+  FaultInjector::Instance().Arm("pool-worker", kill);
+
+  const uint64_t handle = pool.Attach(shard.tree.get(), shard.queue.get());
+  const auto until = steady_clock::now() + milliseconds(10'000);
+  while (pool.Stats().worker_deaths < 1 && steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  FaultInjector::Instance().DisarmAll();
+
+  pool.Detach(handle);  // must not hang
+  const PoolStatsSnapshot stats = pool.Stats();
+  EXPECT_EQ(stats.worker_deaths, 1u);
+  EXPECT_EQ(stats.worker_respawns, 0u);
+  pool.Stop();  // must join the dead thread cleanly
 }
 
 }  // namespace

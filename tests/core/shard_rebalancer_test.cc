@@ -20,6 +20,7 @@
 #include "../test_util.h"
 #include "obtree/api/sharded_map.h"
 #include "obtree/core/background_pool.h"
+#include "obtree/util/fault_injector.h"
 #include "obtree/util/random.h"
 
 namespace obtree {
@@ -422,6 +423,218 @@ TEST(ShardRebalancerStress, EightThreadChurnUnderLiveRebalancing) {
   EXPECT_TRUE(map.ValidateStructure().ok());
   // The hotspot should have attracted at least one split.
   EXPECT_GE(map.rebalancer()->splits() + map.rebalancer()->merges(), 1u);
+}
+
+// --- self-healing: migration abort/rollback and the circuit breaker --------
+
+class MigrationFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST_F(MigrationFaultTest, SplitAbortRollsBackToDonor) {
+  // Every migration batch fails from the first one: the migration aborts
+  // with zero keys moved and the topology snaps back to the donor.
+  ShardedMap map(RebalancingShards(2, 400));
+  ASSERT_TRUE(map.init_status().ok());
+  FillRange(&map, 1, 200);
+
+  FaultSpec fail;
+  fail.action = FaultAction::kError;
+  FaultInjector::Instance().Arm("migration-batch", fail);
+
+  EXPECT_FALSE(map.DebugSplitShard(0));  // aborted, not skipped
+  FaultInjector::Instance().DisarmAll();
+
+  EXPECT_EQ(map.num_shards(), 2u);  // stillborn shard left the table
+  EXPECT_EQ(map.shard(0)->Size(), 200u);
+  ExpectAllPresent(map, 1, 200);
+  EXPECT_TRUE(map.ValidateStructure().ok());
+  EXPECT_GE(map.Stats().Get(StatId::kMigrationAborts), 1u);
+  EXPECT_TRUE(map.LastRebalanceError().IsAborted());
+}
+
+TEST_F(MigrationFaultTest, MidMigrationAbortRollsMovedKeysBack) {
+  // The first batch succeeds, then every later batch fails: the abort
+  // happens with keys already in the receiver, and the rollback must
+  // drain them back into the donor (counted as kMigrationRollbackKeys).
+  ShardOptions opt = RebalancingShards(2, 400);
+  opt.rebalance.migration_batch = 32;  // the 100-key upper half spans batches
+  ShardedMap map(opt);
+  ASSERT_TRUE(map.init_status().ok());
+  FillRange(&map, 1, 200);
+
+  map.SetMigrationHookForTest([](const char* point, Key) {
+    if (std::strcmp(point, "batch-end") == 0 &&
+        FaultInjector::Instance().ArmedSites().empty()) {
+      FaultSpec fail;
+      fail.action = FaultAction::kError;
+      FaultInjector::Instance().Arm("migration-batch", fail);
+    }
+  });
+
+  EXPECT_FALSE(map.DebugSplitShard(0));
+  FaultInjector::Instance().DisarmAll();
+  map.SetMigrationHookForTest(nullptr);
+
+  EXPECT_EQ(map.num_shards(), 2u);
+  EXPECT_EQ(map.shard(0)->Size(), 200u);  // every key back in the donor
+  ExpectAllPresent(map, 1, 200);
+  EXPECT_TRUE(map.ValidateStructure().ok());
+  const StatsSnapshot stats = map.Stats();
+  EXPECT_GE(stats.Get(StatId::kMigrationAborts), 1u);
+  EXPECT_GE(stats.Get(StatId::kMigrationRollbackKeys), 1u);
+  EXPECT_GE(stats.Get(StatId::kKeysMigrated), 1u);  // batch 1 did move
+}
+
+TEST_F(MigrationFaultTest, DegradedMapStillServesTraffic) {
+  // Aborted rebalancing is degradation, not an outage: reads and writes
+  // keep working against the rolled-back topology.
+  ShardedMap map(RebalancingShards(2, 400));
+  ASSERT_TRUE(map.init_status().ok());
+  FillRange(&map, 1, 200);
+
+  FaultSpec fail;
+  fail.action = FaultAction::kError;
+  FaultInjector::Instance().Arm("migration-batch", fail);
+  EXPECT_FALSE(map.DebugSplitShard(0));
+  FaultInjector::Instance().DisarmAll();
+
+  for (Key k = 201; k <= 260; ++k) ASSERT_TRUE(map.Insert(k, k * 10).ok());
+  for (Key k = 1; k <= 30; ++k) ASSERT_TRUE(map.Erase(k).ok());
+  ExpectAllPresent(map, 31, 260);
+  EXPECT_EQ(map.Size(), 230u);
+
+  // And the NEXT split (faults cleared) succeeds on the same range.
+  ASSERT_TRUE(map.DebugSplitShard(0));
+  ExpectAllPresent(map, 31, 260);
+  EXPECT_TRUE(map.ValidateStructure().ok());
+}
+
+// Scripted host: returns a fixed hot-shard load pattern and a scripted
+// sequence of action results, recording how often it was asked to act.
+class ScriptedHost : public ShardRebalancer::Host {
+ public:
+  using ActionResult = ShardRebalancer::ActionResult;
+
+  explicit ScriptedHost(ActionResult result) : result_(result) {}
+
+  std::vector<ShardLoad> SnapshotLoads() override {
+    // Cumulative counters: shard 0 gains 10'000 ops per period, shard 1
+    // gains 100 — shard 0 is persistently hot and splittable.
+    ops_ += 10'000;
+    std::vector<ShardLoad> loads(2);
+    loads[0].id = &hot_id_;
+    loads[0].ops = ops_;
+    loads[0].keys = 100'000;
+    loads[1].id = &cold_id_;
+    loads[1].ops = ops_ / 100;
+    loads[1].keys = 100'000;
+    return loads;
+  }
+
+  ActionResult SplitShard(size_t) override {
+    ++actions_;
+    return result_;
+  }
+  ActionResult MergeShards(size_t) override {
+    ++actions_;
+    return result_;
+  }
+
+  void set_result(ActionResult r) { result_ = r; }
+  int actions() const { return actions_; }
+
+ private:
+  ActionResult result_;
+  int actions_ = 0;
+  uint64_t ops_ = 0;
+  int hot_id_ = 0;
+  int cold_id_ = 0;
+};
+
+// Breaker-test options: with only two shards the default hotness
+// threshold (2.0) is unreachable (hot > 2 * fair means hot > hot + cold),
+// so lower it; every post-baseline tick then decides "split shard 0".
+RebalanceOptions BreakerOptions() {
+  RebalanceOptions opt;
+  opt.enabled = true;
+  opt.hotness_threshold = 1.2;
+  opt.cold_threshold = 0.5;  // 1.2 * 0.5 < 2: passes Validate
+  opt.min_ops_per_period = 10;
+  opt.min_keys_to_split = 10;
+  opt.cooldown_periods = 0;
+  opt.max_consecutive_failures = 2;
+  opt.breaker_cooldown_periods = 3;
+  return opt;
+}
+
+TEST(ShardRebalancerBreakerTest, TripsOpensAndRearmsHalfOpen) {
+  using ActionResult = ShardRebalancer::ActionResult;
+  const RebalanceOptions opt = BreakerOptions();
+  ASSERT_TRUE(opt.Validate().ok());
+
+  ScriptedHost host(ActionResult::kFailed);
+  ShardRebalancer reb(&host, opt);
+
+  // A failed action clears the baseline (rollback traffic must not feed
+  // the next score), so every failure is followed by one observe-only
+  // tick before the controller can act again.
+  reb.TickForTest();  // 1: no baseline yet, observe-only
+  EXPECT_EQ(host.actions(), 0);
+  reb.TickForTest();  // 2: failure 1 of 2
+  EXPECT_EQ(host.actions(), 1);
+  EXPECT_FALSE(reb.breaker_open());
+  reb.TickForTest();  // 3: observe-only (baseline retaken)
+  EXPECT_EQ(host.actions(), 1);
+  reb.TickForTest();  // 4: failure 2 of 2 -> trip
+  EXPECT_EQ(host.actions(), 2);
+  EXPECT_TRUE(reb.breaker_open());
+  EXPECT_EQ(reb.breaker_trips(), 1u);
+  EXPECT_EQ(reb.failed_actions(), 2u);
+
+  // Open window: breaker_cooldown_periods ticks with no host actions.
+  for (int i = 0; i < 3; ++i) {
+    reb.TickForTest();  // 5, 6, 7
+    EXPECT_EQ(host.actions(), 2) << "open tick " << i;
+    EXPECT_TRUE(reb.breaker_open());
+  }
+
+  // 8: half-open probe fails -> re-trip on that single failure.
+  reb.TickForTest();
+  EXPECT_EQ(host.actions(), 3);
+  EXPECT_TRUE(reb.breaker_open());
+  EXPECT_EQ(reb.breaker_trips(), 2u);
+
+  // Wait out the second open window, then let the probe succeed.
+  for (int i = 0; i < 3; ++i) reb.TickForTest();  // 9, 10, 11
+  EXPECT_EQ(host.actions(), 3);
+  host.set_result(ActionResult::kOk);
+  reb.TickForTest();  // 12: successful half-open probe -> closed
+  EXPECT_EQ(host.actions(), 4);
+  EXPECT_FALSE(reb.breaker_open());
+  EXPECT_EQ(reb.splits() + reb.merges(), 1u);
+  reb.TickForTest();  // 13: observe-only (action cleared the baseline)
+  reb.TickForTest();  // 14: normal action, breaker stays closed
+  EXPECT_EQ(host.actions(), 5);
+  EXPECT_FALSE(reb.breaker_open());
+  EXPECT_EQ(reb.breaker_trips(), 2u);
+}
+
+TEST(ShardRebalancerBreakerTest, SkippedActionsDoNotTrip) {
+  using ActionResult = ShardRebalancer::ActionResult;
+  const RebalanceOptions opt = BreakerOptions();
+  ASSERT_TRUE(opt.Validate().ok());
+
+  ScriptedHost host(ActionResult::kSkipped);
+  ShardRebalancer reb(&host, opt);
+  // kSkipped neither clears the baseline nor starts a cooldown, so every
+  // tick after the first keeps trying (and none of them count as failures).
+  for (int i = 0; i < 10; ++i) reb.TickForTest();
+  EXPECT_EQ(host.actions(), 9);
+  EXPECT_FALSE(reb.breaker_open());
+  EXPECT_EQ(reb.breaker_trips(), 0u);
+  EXPECT_EQ(reb.failed_actions(), 0u);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
   EXPECT_TRUE(Status::Aborted().IsAborted());
   EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
 
   Status s = Status::NotFound("key 42");
   EXPECT_FALSE(s.ok());
@@ -32,6 +33,30 @@ TEST(StatusTest, CodesAreDistinct) {
   EXPECT_FALSE(nf.ok());
   EXPECT_FALSE(nf.IsAlreadyExists());
   EXPECT_FALSE(nf.IsInternal());
+  EXPECT_FALSE(nf.IsUnavailable());
+
+  Status u = Status::Unavailable("page fetch failed");
+  EXPECT_FALSE(u.ok());
+  EXPECT_TRUE(u.IsUnavailable());
+  EXPECT_FALSE(u.IsAborted());
+  EXPECT_EQ(u.ToString(), "Unavailable: page fetch failed");
+}
+
+TEST(StatusTest, CopyAndMovePreserveCodeAndMessage) {
+  Status orig = Status::Unavailable("transient");
+  Status copy = orig;
+  EXPECT_TRUE(copy.IsUnavailable());
+  EXPECT_EQ(copy.message(), "transient");
+  EXPECT_TRUE(orig.IsUnavailable());  // copy left the source intact
+
+  Status moved = std::move(orig);
+  EXPECT_TRUE(moved.IsUnavailable());
+  EXPECT_EQ(moved.message(), "transient");
+
+  Status assigned;
+  assigned = moved;
+  EXPECT_TRUE(assigned.IsUnavailable());
+  EXPECT_EQ(assigned.message(), "transient");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -58,6 +83,44 @@ TEST(ResultTest, MoveOnlyValue) {
 TEST(ResultTest, ArrowOperator) {
   Result<std::string> r(std::string("hello"));
   EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, CopyAndMoveSemantics) {
+  Result<std::string> ok(std::string("payload"));
+  Result<std::string> copy = ok;
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), "payload");
+  EXPECT_EQ(ok.value(), "payload");  // source unchanged by the copy
+
+  Result<std::string> moved = std::move(copy);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), "payload");
+
+  Result<std::string> err(Status::Unavailable("try later"));
+  Result<std::string> err_copy = err;
+  EXPECT_FALSE(err_copy.ok());
+  EXPECT_TRUE(err_copy.status().IsUnavailable());
+  EXPECT_EQ(err_copy.status().message(), "try later");
+  Result<std::string> err_moved = std::move(err_copy);
+  EXPECT_TRUE(err_moved.status().IsUnavailable());
+  EXPECT_EQ(err_moved.status().message(), "try later");
+}
+
+TEST(ResultTest, StatusMessagePropagatesThroughConversions) {
+  // The common call pattern: a deep layer fails, the status is returned
+  // up through Result-returning wrappers without losing the message.
+  auto deep = []() -> Status {
+    return Status::Unavailable("injected page-fetch failure");
+  };
+  auto mid = [&]() -> Result<int> {
+    Status s = deep();
+    if (!s.ok()) return s;
+    return 7;
+  };
+  Result<int> r = mid();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(r.status().message(), "injected page-fetch failure");
 }
 
 }  // namespace
