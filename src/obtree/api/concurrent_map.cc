@@ -96,16 +96,51 @@ Result<Value> ConcurrentMap::Get(Key key) const { return tree_->Search(key); }
 Status ConcurrentMap::Erase(Key key) { return tree_->Delete(key); }
 
 Status ConcurrentMap::Upsert(Key key, Value value) {
-  Status erased = tree_->Delete(key);
-  if (!erased.ok() && !erased.IsNotFound()) return erased;
-  // A concurrent Insert can slip in here; retry a few times.
-  for (int attempt = 0; attempt < 16; ++attempt) {
-    Status s = tree_->Insert(key, value);
-    if (!s.IsAlreadyExists()) return s;
-    s = tree_->Delete(key);
-    if (!s.ok() && !s.IsNotFound()) return s;
+  // Single-descent atomic insert-or-replace: the presence check and the
+  // value overwrite share one locked critical section in the tree.
+  return tree_->Upsert(key, value);
+}
+
+BatchResult ConcurrentMap::MultiGet(const std::vector<Key>& keys) const {
+  BatchResult r;
+  r.values.assign(keys.size(), Result<Value>(Status::Internal("unset")));
+  tree_->MultiSearch(keys.data(), keys.size(), r.values.data(), &r.stats);
+  return r;
+}
+
+BatchResult ConcurrentMap::MultiInsert(const std::vector<Key>& keys,
+                                       const std::vector<Value>& values) {
+  BatchResult r;
+  if (keys.size() != values.size()) {
+    r.statuses.assign(keys.size(),
+                      Status::InvalidArgument("keys/values size mismatch"));
+    return r;
   }
-  return Status::Aborted("upsert lost repeated races on the same key");
+  r.statuses.assign(keys.size(), Status::OK());
+  tree_->MultiInsert(keys.data(), values.data(), keys.size(),
+                     r.statuses.data(), &r.stats);
+  return r;
+}
+
+BatchResult ConcurrentMap::MultiErase(const std::vector<Key>& keys) {
+  BatchResult r;
+  r.statuses.assign(keys.size(), Status::OK());
+  tree_->MultiDelete(keys.data(), keys.size(), r.statuses.data(), &r.stats);
+  return r;
+}
+
+BatchResult ConcurrentMap::MultiUpsert(const std::vector<Key>& keys,
+                                       const std::vector<Value>& values) {
+  BatchResult r;
+  if (keys.size() != values.size()) {
+    r.statuses.assign(keys.size(),
+                      Status::InvalidArgument("keys/values size mismatch"));
+    return r;
+  }
+  r.statuses.assign(keys.size(), Status::OK());
+  tree_->MultiUpsert(keys.data(), values.data(), keys.size(),
+                     r.statuses.data(), &r.stats);
+  return r;
 }
 
 size_t ConcurrentMap::Scan(

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "obtree/api/batch.h"
 #include "obtree/core/compression_queue.h"
 #include "obtree/core/options.h"
 #include "obtree/core/sagiv_tree.h"
@@ -83,15 +84,47 @@ class ConcurrentMap {
   /// Remove a key. NotFound if absent.
   Status Erase(Key key);
 
-  /// Tree-style aliases so the workload driver (duck-typed over
-  /// Insert/Search/Delete/Scan) can target a map directly.
+  /// Tree-style aliases: Search IS Get and Delete IS Erase, with
+  /// identical semantics and costs. They exist so the workload driver
+  /// (duck-typed over Insert/Search/Delete/Scan) and code written against
+  /// the SagivTree vocabulary can target a map directly; new code should
+  /// prefer Get/Erase.
   Result<Value> Search(Key key) const { return Get(key); }
   Status Delete(Key key) { return Erase(key); }
 
-  /// Insert-or-replace. Implemented as Erase+Insert; NOT atomic with
-  /// respect to concurrent operations on the same key (the paper's model
-  /// has no in-place update), but each step is individually atomic.
+  /// Insert-or-replace in ONE descent (SagivTree::Upsert): finding the
+  /// key present overwrites its value inside the same locked critical
+  /// section as the presence check. Atomic with respect to concurrent
+  /// operations on the same key — readers see the old or the new value,
+  /// never a window where the key is absent.
   Status Upsert(Key key, Value value);
+
+  // --- batched operations ---------------------------------------------------
+  //
+  // Each Multi* call submits its ops to the tree's pipelined descent
+  // engine: up to options.tree.batch_max_inflight descents run
+  // interleaved on the calling thread, grouped by target page per level
+  // so their simulated-I/O waits are issued together (see ARCHITECTURE.md
+  // "Batched operation engine"). Per-op semantics are identical to the
+  // single-op calls; ops are independent and fail independently. Batches
+  // of one take the single-op path.
+
+  /// Batched Get: result.values[i] corresponds to keys[i].
+  BatchResult MultiGet(const std::vector<Key>& keys) const;
+
+  /// Batched Insert: result.statuses[i] as Insert(keys[i], values[i]).
+  /// keys and values must be the same length (else every status is
+  /// InvalidArgument).
+  BatchResult MultiInsert(const std::vector<Key>& keys,
+                          const std::vector<Value>& values);
+
+  /// Batched Erase: result.statuses[i] as Erase(keys[i]).
+  BatchResult MultiErase(const std::vector<Key>& keys);
+
+  /// Batched Upsert: result.statuses[i] as Upsert(keys[i], values[i]).
+  /// Same length requirement as MultiInsert.
+  BatchResult MultiUpsert(const std::vector<Key>& keys,
+                          const std::vector<Value>& values);
 
   /// Visit pairs with lo <= key <= hi in ascending order; the visitor
   /// returns false to stop. Returns pairs visited.

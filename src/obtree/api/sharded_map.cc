@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -166,6 +167,23 @@ Status ShardedMap::DualErase(const RouteEntry& e, Key key) {
   return e.mig->receiver->Erase(key);
 }
 
+Status ShardedMap::DualUpsert(const RouteEntry& e, Key key, Value value) {
+  // While the key's ownership is split between donor and receiver there
+  // is no single locked critical section to make the upsert atomic, so
+  // this path keeps the erase-then-insert shape with a bounded retry,
+  // each step running the dual-zone protocol. It only runs during the
+  // migration window; settled keys get the atomic single-tree Upsert.
+  Status erased = DualErase(e, key);
+  if (!erased.ok() && !erased.IsNotFound()) return erased;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Status s = DualInsert(e, key, value);
+    if (!s.IsAlreadyExists()) return s;
+    s = DualErase(e, key);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::Aborted("upsert lost repeated races on the same key");
+}
+
 Status ShardedMap::Insert(Key key, Value value) {
   if (!dynamic_) {
     return StaticRoute(table(), key).tree->Insert(key, value);
@@ -203,17 +221,150 @@ Status ShardedMap::Upsert(Key key, Value value) {
   EpochManager::Guard g(&table_epoch_);
   const RouteEntry e = Route(table(), key);
   if (Settled(e.mig, key)) return e.tree->Upsert(key, value);
-  // Erase-then-insert with the same bounded retry as ConcurrentMap::Upsert,
-  // each step running the dual-zone protocol.
-  Status erased = DualErase(e, key);
-  if (!erased.ok() && !erased.IsNotFound()) return erased;
-  for (int attempt = 0; attempt < 16; ++attempt) {
-    Status s = DualInsert(e, key, value);
-    if (!s.IsAlreadyExists()) return s;
-    s = DualErase(e, key);
-    if (!s.ok() && !s.IsNotFound()) return s;
+  return DualUpsert(e, key, value);
+}
+
+// --- batched operations ----------------------------------------------------
+
+void ShardedMap::GroupBatch(
+    const RoutingTable* t, const Key* keys, const Value* values, size_t n,
+    std::vector<BatchGroup>* groups,
+    std::vector<std::pair<size_t, RouteEntry>>* unsettled) const {
+  for (size_t i = 0; i < n; ++i) {
+    const RouteEntry& e =
+        dynamic_ ? Route(t, keys[i]) : StaticRoute(t, keys[i]);
+    if (dynamic_ && !Settled(e.mig, keys[i])) {
+      unsettled->emplace_back(i, e);
+      continue;
+    }
+    // Linear probe over the groups: a batch touches at most num_shards
+    // distinct trees, which is small by construction.
+    BatchGroup* gr = nullptr;
+    for (BatchGroup& cand : *groups) {
+      if (cand.tree == e.tree) {
+        gr = &cand;
+        break;
+      }
+    }
+    if (gr == nullptr) {
+      groups->emplace_back();
+      gr = &groups->back();
+      gr->tree = e.tree;
+    }
+    gr->idx.push_back(i);
+    gr->keys.push_back(keys[i]);
+    if (values != nullptr) gr->values.push_back(values[i]);
   }
-  return Status::Aborted("upsert lost repeated races on the same key");
+}
+
+BatchResult ShardedMap::MultiGet(const std::vector<Key>& keys) const {
+  BatchResult r;
+  r.values.assign(keys.size(), Result<Value>(Status::Internal("unset")));
+  if (keys.empty()) return r;
+  // One epoch guard covers the whole batch: a concurrent table swap's
+  // grace period waits for every op in it.
+  std::optional<EpochManager::Guard> g;
+  if (dynamic_) g.emplace(&table_epoch_);
+  const RoutingTable* t = table();
+  std::vector<BatchGroup> groups;
+  std::vector<std::pair<size_t, RouteEntry>> dual;
+  GroupBatch(t, keys.data(), nullptr, keys.size(), &groups, &dual);
+  for (BatchGroup& gr : groups) {
+    BatchResult sub = gr.tree->MultiGet(gr.keys);
+    for (size_t j = 0; j < gr.idx.size(); ++j) {
+      r.values[gr.idx[j]] = sub.values[j];
+    }
+    r.stats += sub.stats;
+  }
+  for (const auto& [i, e] : dual) {
+    r.values[i] = DualGet(e, keys[i]);
+    r.stats.ops += 1;  // served outside the engine; coalesces nothing
+  }
+  return r;
+}
+
+BatchResult ShardedMap::MultiInsert(const std::vector<Key>& keys,
+                                    const std::vector<Value>& values) {
+  BatchResult r;
+  if (keys.size() != values.size()) {
+    r.statuses.assign(keys.size(),
+                      Status::InvalidArgument("keys/values size mismatch"));
+    return r;
+  }
+  r.statuses.assign(keys.size(), Status::OK());
+  if (keys.empty()) return r;
+  std::optional<EpochManager::Guard> g;
+  if (dynamic_) g.emplace(&table_epoch_);
+  const RoutingTable* t = table();
+  std::vector<BatchGroup> groups;
+  std::vector<std::pair<size_t, RouteEntry>> dual;
+  GroupBatch(t, keys.data(), values.data(), keys.size(), &groups, &dual);
+  for (BatchGroup& gr : groups) {
+    BatchResult sub = gr.tree->MultiInsert(gr.keys, gr.values);
+    for (size_t j = 0; j < gr.idx.size(); ++j) {
+      r.statuses[gr.idx[j]] = sub.statuses[j];
+    }
+    r.stats += sub.stats;
+  }
+  for (const auto& [i, e] : dual) {
+    r.statuses[i] = DualInsert(e, keys[i], values[i]);
+    r.stats.ops += 1;
+  }
+  return r;
+}
+
+BatchResult ShardedMap::MultiErase(const std::vector<Key>& keys) {
+  BatchResult r;
+  r.statuses.assign(keys.size(), Status::OK());
+  if (keys.empty()) return r;
+  std::optional<EpochManager::Guard> g;
+  if (dynamic_) g.emplace(&table_epoch_);
+  const RoutingTable* t = table();
+  std::vector<BatchGroup> groups;
+  std::vector<std::pair<size_t, RouteEntry>> dual;
+  GroupBatch(t, keys.data(), nullptr, keys.size(), &groups, &dual);
+  for (BatchGroup& gr : groups) {
+    BatchResult sub = gr.tree->MultiErase(gr.keys);
+    for (size_t j = 0; j < gr.idx.size(); ++j) {
+      r.statuses[gr.idx[j]] = sub.statuses[j];
+    }
+    r.stats += sub.stats;
+  }
+  for (const auto& [i, e] : dual) {
+    r.statuses[i] = DualErase(e, keys[i]);
+    r.stats.ops += 1;
+  }
+  return r;
+}
+
+BatchResult ShardedMap::MultiUpsert(const std::vector<Key>& keys,
+                                    const std::vector<Value>& values) {
+  BatchResult r;
+  if (keys.size() != values.size()) {
+    r.statuses.assign(keys.size(),
+                      Status::InvalidArgument("keys/values size mismatch"));
+    return r;
+  }
+  r.statuses.assign(keys.size(), Status::OK());
+  if (keys.empty()) return r;
+  std::optional<EpochManager::Guard> g;
+  if (dynamic_) g.emplace(&table_epoch_);
+  const RoutingTable* t = table();
+  std::vector<BatchGroup> groups;
+  std::vector<std::pair<size_t, RouteEntry>> dual;
+  GroupBatch(t, keys.data(), values.data(), keys.size(), &groups, &dual);
+  for (BatchGroup& gr : groups) {
+    BatchResult sub = gr.tree->MultiUpsert(gr.keys, gr.values);
+    for (size_t j = 0; j < gr.idx.size(); ++j) {
+      r.statuses[gr.idx[j]] = sub.statuses[j];
+    }
+    r.stats += sub.stats;
+  }
+  for (const auto& [i, e] : dual) {
+    r.statuses[i] = DualUpsert(e, keys[i], values[i]);
+    r.stats.ops += 1;
+  }
+  return r;
 }
 
 // --- scans -----------------------------------------------------------------

@@ -77,13 +77,49 @@ class ShardedMap : private ShardRebalancer::Host {
   /// Remove a key. NotFound if absent.
   Status Erase(Key key);
 
-  /// Insert-or-replace (per-shard; same atomicity caveats as
-  /// ConcurrentMap::Upsert).
+  /// Insert-or-replace, atomic within the owning shard (the shard runs
+  /// ConcurrentMap::Upsert — one descent, presence check and overwrite in
+  /// the same locked critical section). Keys inside a migration's
+  /// unsettled zone fall back to a dual-zone erase+insert that is NOT
+  /// atomic (a reader may briefly observe the key absent); the fallback
+  /// is bounded to the migration window.
   Status Upsert(Key key, Value value);
 
-  /// Tree-style aliases for the duck-typed workload driver.
+  /// Tree-style aliases: Search IS Get and Delete IS Erase, with
+  /// identical semantics and costs. They exist for the duck-typed
+  /// workload driver and SagivTree-vocabulary callers; new code should
+  /// prefer Get/Erase.
   Result<Value> Search(Key key) const { return Get(key); }
   Status Delete(Key key) { return Erase(key); }
+
+  // --- batched operations ---------------------------------------------------
+  //
+  // Each Multi* call routes its ops once, groups them per target shard,
+  // and submits each group as one sub-batch to that shard's pipelined
+  // descent engine (ConcurrentMap::Multi*), merging the per-group
+  // BatchStats. In dynamic mode the whole batch runs under ONE routing
+  // epoch guard, so a concurrent table swap waits for the entire batch.
+  // Ops on keys in a migration's unsettled zone bypass the engine and run
+  // the single-op dual-lookup protocol (they still count in
+  // BatchResult::stats.ops, but coalesce nothing). Per-op semantics are
+  // identical to the single-op calls.
+
+  /// Batched Get: result.values[i] corresponds to keys[i].
+  BatchResult MultiGet(const std::vector<Key>& keys) const;
+
+  /// Batched Insert: result.statuses[i] as Insert(keys[i], values[i]).
+  /// keys and values must be the same length (else every status is
+  /// InvalidArgument).
+  BatchResult MultiInsert(const std::vector<Key>& keys,
+                          const std::vector<Value>& values);
+
+  /// Batched Erase: result.statuses[i] as Erase(keys[i]).
+  BatchResult MultiErase(const std::vector<Key>& keys);
+
+  /// Batched Upsert: result.statuses[i] as Upsert(keys[i], values[i]).
+  /// Same length requirement as MultiInsert.
+  BatchResult MultiUpsert(const std::vector<Key>& keys,
+                          const std::vector<Value>& values);
 
   /// Visit pairs with lo <= key <= hi in globally ascending order,
   /// traversing only the shards whose ranges intersect [lo, hi]. The
@@ -286,6 +322,25 @@ class ShardedMap : private ShardRebalancer::Host {
   Result<Value> DualGet(const RouteEntry& e, Key key) const;
   Status DualInsert(const RouteEntry& e, Key key, Value value);
   Status DualErase(const RouteEntry& e, Key key);
+  Status DualUpsert(const RouteEntry& e, Key key, Value value);
+
+  /// One per-shard slice of a batched call: the ops of a batch that
+  /// routed to the same tree, submitted together as one sub-batch.
+  struct BatchGroup {
+    ConcurrentMap* tree = nullptr;
+    std::vector<size_t> idx;    ///< original positions in the batch
+    std::vector<Key> keys;
+    std::vector<Value> values;  ///< parallel to keys (write batches only)
+  };
+
+  /// Split a batch by routed tree. Settled keys append to their tree's
+  /// group; keys in a migration's unsettled zone are returned separately
+  /// with their route so the caller can run the dual-lookup protocol.
+  /// `values` may be null (read batches). Caller holds the table-epoch
+  /// guard in dynamic mode.
+  void GroupBatch(const RoutingTable* t, const Key* keys, const Value* values,
+                  size_t n, std::vector<BatchGroup>* groups,
+                  std::vector<std::pair<size_t, RouteEntry>>* unsettled) const;
 
   /// Chunked ascending merge of donor + receiver over [lo, hi] for scans
   /// crossing a live migration. Returns false if the visitor stopped.

@@ -2,6 +2,7 @@
 
 #include "obtree/core/sagiv_tree.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <thread>
@@ -1056,8 +1057,30 @@ Status SagivTree::Insert(Key key, Value value) {
   std::vector<PageId>& stack = *stack_lease.stack();
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
+  return InsertCommit(key, value, *found, &stack, /*overwrite=*/false);
+}
 
-  PageId current = *found;
+Status SagivTree::Upsert(Key key, Value value) {
+  if (key < 1 || key > kMaxUserKey) {
+    return Status::InvalidArgument("key out of range");
+  }
+  // An upsert is an insert that may degenerate to a value overwrite; it
+  // counts as one logical insert either way.
+  stats_->Add(StatId::kInserts);
+  EpochManager::Guard guard(epoch_.get());
+
+  std::vector<PageId> local_stack;
+  TlStackLease stack_lease(&local_stack);
+  std::vector<PageId>& stack = *stack_lease.stack();
+  Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
+  if (!found.ok()) return found.status();
+  return InsertCommit(key, value, *found, &stack, /*overwrite=*/true);
+}
+
+Status SagivTree::InsertCommit(Key key, Value value, PageId start,
+                               std::vector<PageId>* stack_in, bool overwrite) {
+  std::vector<PageId>& stack = *stack_in;
+  PageId current = start;
   Key ins_key = key;
   uint64_t down_ptr = value;
   uint32_t level = 0;
@@ -1095,9 +1118,32 @@ Status SagivTree::Insert(Key key, Value value) {
       view = node;
     }
 
-    if (level == 0 && view->FindLeafValue(ins_key).has_value()) {
-      pager_->Unlock(current);
-      return Status::AlreadyExists("key already in the tree");
+    if (level == 0) {
+      const uint32_t idx = view->LowerBound(ins_key);
+      if (idx < view->count && view->entries[idx].key == ins_key) {
+        if (!overwrite) {
+          pager_->Unlock(current);
+          return Status::AlreadyExists("key already in the tree");
+        }
+        // Upsert replace case: overwrite the value under the lock we
+        // already hold — same critical section as the presence check, so
+        // the key is never transiently absent. Size is unchanged.
+        if (locked_inplace) {
+          PageManager::WriteGuard wg = pager_->BeginWrite(current);
+          const size_t bytes =
+              wg.page()->As<Node>()->SetLeafValueAtInPlace(idx, value);
+          wg.Release();
+          pager_->Unlock(current);
+          stats_->Add(StatId::kInplaceWrites);
+          stats_->Add(StatId::kWriteBytesInplace, bytes);
+        } else {
+          node->entries[idx].value = value;
+          pager_->Put(current, page);
+          pager_->Unlock(current);
+          stats_->Add(StatId::kWriteBytesCopied, 2 * kPageSize);  // get + put
+        }
+        return Status::OK();
+      }
     }
 
     AscentState st;
@@ -1174,6 +1220,17 @@ Status SagivTree::Delete(Key key) {
   Result<PageId> found =
       internal_FindNodeAtLevel(key, 0, want_stack ? &stack : nullptr);
   if (!found.ok()) return found.status();
+  return DeleteCommit(key, *found, want_stack ? &stack : nullptr, guard);
+}
+
+Status SagivTree::DeleteCommit(Key key, PageId start,
+                               std::vector<PageId>* stack_in,
+                               const EpochManager::Guard& guard) {
+  CompressionQueue* queue = queue_.load(std::memory_order_acquire);
+  const bool want_stack = options_.enqueue_underfull_on_delete &&
+                          queue != nullptr && stack_in != nullptr;
+  std::vector<PageId> unused_stack;
+  std::vector<PageId>& stack = want_stack ? *stack_in : unused_stack;
 
   Page page;
   Node* node = page.As<Node>();
@@ -1186,7 +1243,7 @@ Status SagivTree::Delete(Key key) {
   PageId leaf = kInvalidPageId;
   if (options_.inplace_writes) {
     Result<PageId> target = AcquireTargetInPlace(
-        key, 0, *found, want_stack ? &stack : nullptr, &restarts, &view);
+        key, 0, start, want_stack ? &stack : nullptr, &restarts, &view);
     if (target.ok()) {
       leaf = *target;
       locked_inplace = true;
@@ -1198,7 +1255,7 @@ Status SagivTree::Delete(Key key) {
   }
   if (!locked_inplace) {
     Result<PageId> target = AcquireTargetNode(
-        key, 0, *found, want_stack ? &stack : nullptr, &restarts, &page);
+        key, 0, start, want_stack ? &stack : nullptr, &restarts, &page);
     if (!target.ok()) return target.status();
     leaf = *target;
     view = node;
@@ -1242,6 +1299,326 @@ Status SagivTree::Delete(Key key) {
   }
   pager_->Unlock(leaf);
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Batched operations: the pipelined descent engine
+// ---------------------------------------------------------------------------
+
+void SagivTree::PipelineDescents(BatchCont* ops, size_t n, bool collect_stacks,
+                                 bool probe_values, BatchStats* bs) const {
+  assert(options_.optimistic_reads);
+  // Forfeits unconsumed prepaid-I/O credits at scope exit (a faulted read
+  // returns before its MaybeSimulateIo and never consumes its credit).
+  PageManager::IoBatchScope io_scope;
+
+  std::vector<uint32_t> active;   // kRunning indices, regrouped per round
+  std::vector<PageId> distinct;   // the round's distinct target pages
+  std::vector<Route> routes;      // per-group scratch
+  std::vector<std::optional<Value>> values;
+  active.reserve(n);
+  distinct.reserve(n);
+
+  for (;;) {
+    active.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (ops[i].state == BatchCont::kRunning) {
+        active.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (active.empty()) return;
+
+    // (Re)seed restarted continuations; one prime read serves the round.
+    // Level 0 always exists, so there is no wait-for-level case here.
+    bool need_root = false;
+    for (uint32_t i : active) need_root |= ops[i].need_root;
+    if (need_root) {
+      const PrimeBlockData pb = prime_.Read();
+      for (uint32_t i : active) {
+        BatchCont& op = ops[i];
+        if (!op.need_root) continue;
+        op.need_root = false;
+        op.current = pb.root();
+        op.stack.clear();
+      }
+    }
+
+    // Group the round's reads by target page and issue their simulated-I/O
+    // waits together: one latency covers the whole round.
+    std::sort(active.begin(), active.end(), [&](uint32_t a, uint32_t b) {
+      return ops[a].current < ops[b].current;
+    });
+    distinct.clear();
+    for (uint32_t i : active) {
+      if (distinct.empty() || distinct.back() != ops[i].current) {
+        distinct.push_back(ops[i].current);
+      }
+    }
+    bs->io_overlapped += pager_->PrefetchPages(distinct.data(),
+                                               distinct.size());
+
+    // One validated read per distinct page serves every op routed
+    // through it; the sharers beyond the first are coalesced fetches.
+    for (size_t gi = 0; gi < active.size();) {
+      const PageId page_id = ops[active[gi]].current;
+      size_t ge = gi;
+      while (ge < active.size() && ops[active[ge]].current == page_id) ++ge;
+      const uint64_t group = static_cast<uint64_t>(ge - gi);
+
+      const PageManager::ReadGuard g = pager_->OptimisticRead(page_id);
+      routes.clear();
+      values.clear();
+      bool valid = false;
+      if (g.stable()) {
+        const NodeView view(g.page()->As<Node>());
+        for (size_t k = gi; k < ge; ++k) {
+          const BatchCont& op = ops[active[k]];
+          Route r = RouteForKey(view, op.key, /*target_level=*/0);
+          // Probe the leaf slot under the same version as the routing
+          // decision: the one validation below covers both.
+          values.push_back(probe_values && r.kind == Route::kArrived
+                               ? view.FindLeafValue(op.key)
+                               : std::nullopt);
+          routes.push_back(r);
+        }
+        valid = g.Validate();
+      }
+      if (!valid) {
+        // Torn read: every sharer would have discarded this image had it
+        // read the page itself, so each op's retry budget advances.
+        stats_->Add(StatId::kOptimisticRetries, group);
+        for (size_t k = gi; k < ge; ++k) {
+          BatchCont& op = ops[active[k]];
+          if (++op.failures > options_.optimistic_retry_limit) {
+            op.state = BatchCont::kFallback;
+          }
+          // else: stay on the same page for the next round's re-read
+        }
+        gi = ge;
+        continue;
+      }
+      stats_->Add(StatId::kOptimisticValidations, group);
+      if (group > 1) {
+        stats_->Add(StatId::kBatchPagesCoalesced, group - 1);
+        bs->pages_coalesced += group - 1;
+      }
+      for (size_t k = gi; k < ge; ++k) {
+        BatchCont& op = ops[active[k]];
+        if (++op.steps > kMaxStepsPerAttempt) {
+          op.state = BatchCont::kError;
+          op.status = Status::Internal("descent did not terminate");
+          continue;
+        }
+        const Route& route = routes[k - gi];
+        switch (route.kind) {
+          case Route::kArrived:
+            op.state = BatchCont::kArrived;
+            op.value = values[k - gi];
+            break;
+          case Route::kChild:
+            if (collect_stacks) op.stack.push_back(op.current);
+            op.current = route.next;
+            break;
+          case Route::kLink:
+            stats_->Add(StatId::kLinkFollows);
+            op.current = route.next;
+            break;
+          case Route::kMerge:
+            stats_->Add(StatId::kMergePointerFollows);
+            op.current = route.next;
+            break;
+          case Route::kRestartStale:
+          case Route::kRestartRightmost:
+          case Route::kRestartNoMergeTarget:
+            CountRestart(CauseFor(route.kind));
+            if (++op.restarts > options_.max_restarts) {
+              op.state = BatchCont::kError;
+              op.status = Status::Internal("too many restarts in batch");
+            } else {
+              op.need_root = true;
+            }
+            break;
+          case Route::kTorn:
+            // Inconsistent-but-validated image (defensive ChildFor
+            // miss): treat like a discarded read and re-read next round.
+            stats_->Add(StatId::kOptimisticRetries);
+            if (++op.failures > options_.optimistic_retry_limit) {
+              op.state = BatchCont::kFallback;
+            }
+            break;
+        }
+      }
+      gi = ge;
+    }
+  }
+}
+
+void SagivTree::MultiSearch(const Key* keys, size_t n, Result<Value>* out,
+                            BatchStats* batch_stats) const {
+  if (batch_stats) *batch_stats = BatchStats{};
+  if (n == 0) return;
+  stats_->Add(StatId::kBatchOps, n);
+  if (batch_stats) batch_stats->ops = n;
+  if (!options_.optimistic_reads || n == 1) {
+    // Single-op path (also the whole-batch mode for copy-read trees:
+    // pipelining requires the in-place read protocol).
+    for (size_t i = 0; i < n; ++i) out[i] = Search(keys[i]);
+    return;
+  }
+  stats_->Add(StatId::kSearches, n);
+  BatchStats bs;
+  EpochManager::Guard guard(epoch_.get());
+
+  const size_t width = options_.batch_max_inflight;
+  std::vector<BatchCont> conts(std::min(n, width));
+  for (size_t w0 = 0; w0 < n; w0 += width) {
+    const size_t w = std::min(width, n - w0);
+    for (size_t j = 0; j < w; ++j) {
+      conts[j] = BatchCont{};
+      conts[j].key = keys[w0 + j];
+      if (conts[j].key < 1 || conts[j].key > kMaxUserKey) {
+        conts[j].state = BatchCont::kError;
+        conts[j].status = Status::InvalidArgument("key out of range");
+      }
+    }
+    PipelineDescents(conts.data(), w, /*collect_stacks=*/false,
+                     /*probe_values=*/true, &bs);
+    for (size_t j = 0; j < w; ++j) {
+      BatchCont& op = conts[j];
+      switch (op.state) {
+        case BatchCont::kArrived:
+          out[w0 + j] = op.value.has_value() ? Result<Value>(*op.value)
+                                             : Result<Value>(Status::NotFound());
+          break;
+        case BatchCont::kError:
+          out[w0 + j] = op.status;
+          break;
+        case BatchCont::kFallback: {
+          // Same copy-read fallback as single-op Search.
+          stats_->Add(StatId::kOptimisticFallbacks);
+          Page page;
+          PageId leaf_page;
+          Status s = DescendToLeaf(op.key, &guard, &page, &leaf_page);
+          if (!s.ok()) {
+            out[w0 + j] = s;
+            break;
+          }
+          std::optional<Value> v = page.As<Node>()->FindLeafValue(op.key);
+          out[w0 + j] = v.has_value() ? Result<Value>(*v)
+                                      : Result<Value>(Status::NotFound());
+          break;
+        }
+        case BatchCont::kRunning:
+          assert(false);  // PipelineDescents only returns terminal states
+          out[w0 + j] = Status::Internal("batch descent did not terminate");
+          break;
+      }
+    }
+  }
+  if (batch_stats) *batch_stats += bs;
+}
+
+void SagivTree::MultiMutate(const Key* keys, const Value* values, size_t n,
+                            Status* out, MutateKind kind,
+                            BatchStats* batch_stats) {
+  if (batch_stats) *batch_stats = BatchStats{};
+  if (n == 0) return;
+  stats_->Add(StatId::kBatchOps, n);
+  if (batch_stats) batch_stats->ops = n;
+  if (!options_.optimistic_reads || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      switch (kind) {
+        case MutateKind::kInsert: out[i] = Insert(keys[i], values[i]); break;
+        case MutateKind::kUpsert: out[i] = Upsert(keys[i], values[i]); break;
+        case MutateKind::kDelete: out[i] = Delete(keys[i]); break;
+      }
+    }
+    return;
+  }
+  stats_->Add(kind == MutateKind::kDelete ? StatId::kDeletes
+                                          : StatId::kInserts, n);
+  BatchStats bs;
+  EpochManager::Guard guard(epoch_.get());
+
+  // Inserts ascend through their movedown stack; deletes only need it to
+  // feed the §5.4 under-full enqueue.
+  const bool want_stack =
+      kind != MutateKind::kDelete ||
+      (options_.enqueue_underfull_on_delete &&
+       queue_.load(std::memory_order_acquire) != nullptr);
+
+  const size_t width = options_.batch_max_inflight;
+  std::vector<BatchCont> conts(std::min(n, width));
+  for (size_t w0 = 0; w0 < n; w0 += width) {
+    const size_t w = std::min(width, n - w0);
+    for (size_t j = 0; j < w; ++j) {
+      conts[j] = BatchCont{};
+      conts[j].key = keys[w0 + j];
+      if (conts[j].key < 1 || conts[j].key > kMaxUserKey) {
+        conts[j].state = BatchCont::kError;
+        conts[j].status = Status::InvalidArgument("key out of range");
+      }
+    }
+    // Phase 1: pipeline the lock-free descents of the whole window.
+    PipelineDescents(conts.data(), w, /*collect_stacks=*/want_stack,
+                     /*probe_values=*/false, &bs);
+    // Phase 2: run each op's locked commit serially from its descent's
+    // leaf — the locking protocol (one lock per process at a time) is
+    // exactly the single-op one.
+    for (size_t j = 0; j < w; ++j) {
+      BatchCont& op = conts[j];
+      PageId start = op.current;
+      if (op.state == BatchCont::kError) {
+        out[w0 + j] = op.status;
+        continue;
+      }
+      if (op.state == BatchCont::kFallback) {
+        // Copy-read fallback descent, as internal_FindNodeAtLevel does
+        // after an exhausted optimistic budget.
+        stats_->Add(StatId::kOptimisticFallbacks);
+        op.stack.clear();
+        Result<PageId> found = CopyFindNodeAtLevel(
+            op.key, 0, want_stack ? &op.stack : nullptr,
+            /*wait_for_level=*/true);
+        if (!found.ok()) {
+          out[w0 + j] = found.status();
+          continue;
+        }
+        start = *found;
+      }
+      switch (kind) {
+        case MutateKind::kInsert:
+          out[w0 + j] = InsertCommit(op.key, values[w0 + j], start,
+                                     &op.stack, /*overwrite=*/false);
+          break;
+        case MutateKind::kUpsert:
+          out[w0 + j] = InsertCommit(op.key, values[w0 + j], start,
+                                     &op.stack, /*overwrite=*/true);
+          break;
+        case MutateKind::kDelete:
+          out[w0 + j] = DeleteCommit(op.key, start,
+                                     want_stack ? &op.stack : nullptr, guard);
+          break;
+      }
+    }
+  }
+  if (batch_stats) *batch_stats += bs;
+}
+
+void SagivTree::MultiInsert(const Key* keys, const Value* values, size_t n,
+                            Status* out, BatchStats* batch_stats) {
+  MultiMutate(keys, values, n, out, MutateKind::kInsert, batch_stats);
+}
+
+void SagivTree::MultiUpsert(const Key* keys, const Value* values, size_t n,
+                            Status* out, BatchStats* batch_stats) {
+  MultiMutate(keys, values, n, out, MutateKind::kUpsert, batch_stats);
+}
+
+void SagivTree::MultiDelete(const Key* keys, size_t n, Status* out,
+                            BatchStats* batch_stats) {
+  MultiMutate(keys, /*values=*/nullptr, n, out, MutateKind::kDelete,
+              batch_stats);
 }
 
 }  // namespace obtree

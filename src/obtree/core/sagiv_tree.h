@@ -35,6 +35,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "obtree/core/options.h"
@@ -67,6 +68,14 @@ class SagivTree {
   /// Returns AlreadyExists if the key is present (tree unchanged).
   Status Insert(Key key, Value value);
 
+  /// Insert-or-replace in ONE descent: the same single-lock insertion
+  /// protocol as Insert, except that finding the key already present in
+  /// the locked leaf overwrites its value (one word store in place, or
+  /// the copy path's put) instead of returning AlreadyExists. Atomic:
+  /// there is no window where the key is absent, and concurrent readers
+  /// see either the old or the new value, never neither.
+  Status Upsert(Key key, Value value);
+
   /// Look up a key. Returns the value or NotFound. Lock-free; with
   /// options().optimistic_reads (the default) also copy-free: the descent
   /// validates page versions instead of copying 4 KB per node visited.
@@ -75,6 +84,38 @@ class SagivTree {
   /// Delete a key. Returns NotFound if absent. No restructuring happens
   /// here (Section 4); compression is a separate concurrent process.
   Status Delete(Key key);
+
+  // --- batched operations ---------------------------------------------------
+  //
+  // The pipelined descent engine: one thread keeps up to
+  // options().batch_max_inflight descents in flight as resumable
+  // continuations, each round grouping them by current page, issuing the
+  // group's simulated-I/O waits together (PageManager::PrefetchPages) and
+  // sharing one validated read per distinct page, then advancing every
+  // continuation one step. Results land in out[i] for keys[i]; per-op
+  // semantics (including restart budgets and the optimistic->copy
+  // fallback) are identical to the single-op calls. For the write forms
+  // only the lock-free descent is pipelined — each op's locked mutation
+  // then runs serially from its descent's leaf, so the locking protocol
+  // (one lock per process) is untouched. `batch_stats`, when non-null,
+  // receives this batch's slice of the kBatch* counters. Batches of one
+  // (and trees with optimistic_reads off) take the single-op path.
+
+  /// Batched Search: out[i] is the value for keys[i] or NotFound.
+  void MultiSearch(const Key* keys, size_t n, Result<Value>* out,
+                   BatchStats* batch_stats = nullptr) const;
+
+  /// Batched Insert: out[i] as Insert(keys[i], values[i]).
+  void MultiInsert(const Key* keys, const Value* values, size_t n,
+                   Status* out, BatchStats* batch_stats = nullptr);
+
+  /// Batched Delete: out[i] as Delete(keys[i]).
+  void MultiDelete(const Key* keys, size_t n, Status* out,
+                   BatchStats* batch_stats = nullptr);
+
+  /// Batched Upsert: out[i] as Upsert(keys[i], values[i]).
+  void MultiUpsert(const Key* keys, const Value* values, size_t n,
+                   Status* out, BatchStats* batch_stats = nullptr);
 
   /// Visit live (key, value) pairs with lo <= key <= hi in ascending key
   /// order, following leaf links. The visitor returns false to stop early.
@@ -160,6 +201,66 @@ class SagivTree {
 
  private:
   void CountRestart(RestartCause cause) const;
+
+  // --- pipelined batch descent engine ---------------------------------------
+
+  // Resumable continuation of one in-flight batch descent: the explicit
+  // per-op state the single-op descent loops keep in locals (current
+  // page, movedown stack, retry/restart/step budgets), plus the op's
+  // final outcome. The engine advances a window of these in lockstep
+  // rounds; see PipelineDescents.
+  struct BatchCont {
+    Key key = 0;
+    PageId current = kInvalidPageId;
+    std::vector<PageId> stack;    // movedown stack (collect_stacks mode)
+    std::optional<Value> value;   // leaf probe result (probe_values mode)
+    Status status;                // outcome when state == kError
+    int failures = 0;             // discarded optimistic reads so far
+    int restarts = 0;             // restarts from the root so far
+    int steps = 0;                // pointer-chasing bound (kMaxSteps...)
+    bool need_root = true;        // (re)seed from the prime block
+    enum State {
+      kRunning,   // still descending
+      kArrived,   // at the live level-0 target (current = leaf)
+      kFallback,  // optimistic budget exhausted: caller runs the serial
+                  // copy-path fallback for this op
+      kError,     // terminal failure in `status`
+    } state = kRunning;
+  };
+
+  // Advance every kRunning continuation in ops[0..n) to a terminal state
+  // (level-0 arrival, fallback, or error). Each round: group the active
+  // continuations by current page, issue the group's simulated-I/O waits
+  // together (PageManager::PrefetchPages), perform ONE validated
+  // OptimisticRead per distinct page shared by every op routed through
+  // it (the sharers beyond the first count kBatchPagesCoalesced), then
+  // advance each continuation by one routing step. Requires
+  // options().optimistic_reads; the caller holds the epoch guard. `bs`
+  // accumulates the batch-level counters.
+  void PipelineDescents(BatchCont* ops, size_t n, bool collect_stacks,
+                        bool probe_values, BatchStats* bs) const;
+
+  // Shared implementation of MultiInsert/MultiUpsert/MultiDelete:
+  // pipelined descents, then per-op serial locked commits.
+  enum class MutateKind { kInsert, kUpsert, kDelete };
+  void MultiMutate(const Key* keys, const Value* values, size_t n,
+                   Status* out, MutateKind kind, BatchStats* batch_stats);
+
+  // The locked second half of Insert/Upsert (the Fig. 5 "repeat until
+  // completed" loop), starting from a descent's level-0 result `start`
+  // with its movedown stack. With `overwrite`, a key found present in
+  // the locked leaf has its value replaced in the same critical section
+  // (the Upsert semantics) instead of returning AlreadyExists. The
+  // caller holds an epoch guard and has counted the logical op.
+  Status InsertCommit(Key key, Value value, PageId start,
+                      std::vector<PageId>* stack, bool overwrite);
+
+  // The locked second half of Delete, starting from a descent's level-0
+  // result `start`. `stack` (nullable) enables the §5.4 under-full
+  // enqueue; `guard` supplies the compression task's timestamp. The
+  // caller holds `guard` and has counted the logical op.
+  Status DeleteCommit(Key key, PageId start, std::vector<PageId>* stack,
+                      const EpochManager::Guard& guard);
 
   // Fault-tolerant page fetch for the lock-free descents: retries an
   // Unavailable Get up to options().fetch_retry_limit times with

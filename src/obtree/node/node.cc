@@ -93,6 +93,13 @@ size_t Node::RemoveLeafEntryAtInPlace(uint32_t i) {
   return (n - i - 1) * sizeof(Entry) + sizeof(count);
 }
 
+size_t Node::SetLeafValueAtInPlace(uint32_t i, Value v) {
+  assert(is_leaf());
+  assert(i < count);
+  PageStoreWord(&entries[i].value, v);
+  return sizeof(uint64_t);
+}
+
 size_t Node::InsertChildSplitInPlace(Key sep, PageId new_child) {
   assert(!is_leaf());
   assert(count > 0);

@@ -141,6 +141,11 @@ struct Node {
   /// Precondition: i < count.
   size_t RemoveLeafEntryAtInPlace(uint32_t i);
 
+  /// In-place value overwrite of an existing leaf entry (the Upsert
+  /// replace case): a single word store, no shifting, count unchanged.
+  /// Precondition: i < count.
+  size_t SetLeafValueAtInPlace(uint32_t i, Value v);
+
   /// In-place InsertChildSplit. Same preconditions; returns 0 (no change)
   /// only if sep is already present.
   size_t InsertChildSplitInPlace(Key sep, PageId new_child);

@@ -17,6 +17,13 @@ namespace {
 // to validate the "locks held simultaneously" claims.
 thread_local int tl_locks_held = 0;
 
+// Prepaid simulated-I/O credits deposited by PrefetchPages and consumed
+// by the next MaybeSimulateIo calls on this thread (one credit = one
+// skipped sleep, because the group's waits were already issued together).
+// Scoped by PageManager::IoBatchScope so credits never outlive the batch
+// that paid for them.
+thread_local uint64_t tl_io_credits = 0;
+
 // Word-granular copy. The seqlock retry loop discards torn reads; copying
 // through relaxed word-sized atomic accesses (PageLoadWord/PageStoreWord,
 // shared with Node's in-place mutation primitives) keeps the concurrent
@@ -148,10 +155,34 @@ Result<PageId> PageManager::Allocate() {
 void PageManager::MaybeSimulateIo() const {
   const uint64_t ns = simulated_io_ns_.load(std::memory_order_relaxed);
   if (ns == 0) return;
+  if (tl_io_credits > 0) {
+    // This access's wait was already issued with its group's leader
+    // (PrefetchPages); consuming the credit is the "completion" side.
+    --tl_io_credits;
+    return;
+  }
   // A real sleep (not a spin) so other threads overlap their "I/O" —
   // the property the 1985 disk-resident model gives concurrent protocols.
   std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
 }
+
+uint64_t PageManager::PrefetchPages(const PageId* ids, size_t n) const {
+  (void)ids;  // a real PageStore backend would post the reads here
+  if (n == 0) return 0;
+  const uint64_t ns = simulated_io_ns_.load(std::memory_order_relaxed);
+  if (ns == 0) return 0;
+  // One latency covers the whole group: n reads posted in parallel
+  // complete after max(latency_i) ~= one device latency, not the sum.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  tl_io_credits += n;
+  const uint64_t overlapped = static_cast<uint64_t>(n) - 1;
+  if (overlapped > 0) stats_->Add(StatId::kBatchIoOverlapped, overlapped);
+  return overlapped;
+}
+
+PageManager::IoBatchScope::IoBatchScope() : saved_(tl_io_credits) {}
+
+PageManager::IoBatchScope::~IoBatchScope() { tl_io_credits = saved_; }
 
 Status PageManager::Get(PageId id, Page* out) const {
   if (MaybeTrap("get", id, /*error_eligible=*/tl_locks_held == 0)) {

@@ -146,6 +146,36 @@ class PageManager {
   /// paper's cost model still holds; Validate() is free.
   ReadGuard OptimisticRead(PageId id) const;
 
+  /// Batched-I/O overlap hook for the pipelined descent engine
+  /// (SagivTree::Multi*): announce that the calling thread is about to
+  /// read the `n` distinct pages in `ids` as one group. The group's
+  /// simulated-I/O waits are issued TOGETHER — one latency sleep covers
+  /// all n fetches, modeling n async reads posted in parallel — and the
+  /// thread is granted n prepaid-I/O credits that the following
+  /// Get/OptimisticRead calls consume instead of sleeping. Everything
+  /// else about those reads (seqlock acquisition, kGets accounting,
+  /// fault traps) is unchanged, so the cost model still counts n node
+  /// accesses; only the WAITS coalesce. Returns the number of waits
+  /// overlapped (n - 1 when simulated I/O is on, else 0), which is also
+  /// added to StatId::kBatchIoOverlapped. Credits are thread-local and
+  /// must be bracketed by an IoBatchScope so unconsumed credits (a
+  /// faulted read that never slept) cannot leak into unrelated ops.
+  uint64_t PrefetchPages(const PageId* ids, size_t n) const;
+
+  /// RAII bracket for PrefetchPages credit accounting: records the
+  /// calling thread's prepaid-I/O credit level at construction and
+  /// restores it at destruction, forfeiting any credits deposited but
+  /// not consumed inside the scope.
+  class IoBatchScope {
+   public:
+    IoBatchScope();
+    ~IoBatchScope();
+    OBTREE_DISALLOW_COPY_AND_ASSIGN(IoBatchScope);
+
+   private:
+    uint64_t saved_;
+  };
+
   /// In-place inspection for a paper-lock holder. Counts as a node
   /// access exactly like Get/OptimisticRead (one kGets + the simulated
   /// I/O), so the paper's cost model holds on the locked moveright too;

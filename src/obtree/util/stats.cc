@@ -56,6 +56,9 @@ const char* StatName(StatId id) {
     case StatId::kSearches: return "searches";
     case StatId::kInserts: return "inserts";
     case StatId::kDeletes: return "deletes";
+    case StatId::kBatchOps: return "batch_ops";
+    case StatId::kBatchPagesCoalesced: return "batch_pages_coalesced";
+    case StatId::kBatchIoOverlapped: return "batch_io_overlapped";
     case StatId::kNumStats: break;
   }
   return "unknown";

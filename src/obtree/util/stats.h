@@ -107,6 +107,16 @@ enum class StatId : int {
   kSearches,             ///< logical search operations
   kInserts,              ///< logical insert operations
   kDeletes,              ///< logical delete operations
+  kBatchOps,             ///< logical operations submitted through the
+                         ///< Multi* batch API (each op in a batch counts
+                         ///< once, on top of its kSearches/kInserts/...)
+  kBatchPagesCoalesced,  ///< page fetches the pipelined descent engine
+                         ///< avoided because several in-flight ops routed
+                         ///< through the same page in the same round and
+                         ///< shared one validated read
+  kBatchIoOverlapped,    ///< simulated-I/O waits the engine issued
+                         ///< together with a round's group leader instead
+                         ///< of serially (PageManager::PrefetchPages)
   kNumStats,
 };
 
@@ -114,6 +124,27 @@ inline constexpr int kNumStatIds = static_cast<int>(StatId::kNumStats);
 
 /// Human-readable name of a counter.
 const char* StatName(StatId id);
+
+/// Per-batch slice of the batch counters: what one Multi* call did. The
+/// same quantities are accumulated process-wide on the owning tree's
+/// StatsCollector under kBatchOps / kBatchPagesCoalesced /
+/// kBatchIoOverlapped; this struct lets a caller attribute them to a
+/// single batch without diffing snapshots.
+struct BatchStats {
+  uint64_t ops = 0;              ///< operations in the batch
+  uint64_t pages_coalesced = 0;  ///< fetches avoided by sharing a page
+                                 ///< read between in-flight ops
+  uint64_t io_overlapped = 0;    ///< simulated-I/O waits issued together
+                                 ///< with a round leader instead of
+                                 ///< serially
+
+  BatchStats& operator+=(const BatchStats& o) {
+    ops += o.ops;
+    pages_coalesced += o.pages_coalesced;
+    io_overlapped += o.io_overlapped;
+    return *this;
+  }
+};
 
 /// Point-in-time copy of all counters plus the lock-depth high-water mark.
 struct StatsSnapshot {
