@@ -17,6 +17,11 @@
 // (inplace_writes = false) against the seqlock-bracketed in-place
 // mutation path (the default), which stores only the shifted entries.
 //
+// E2f — monotonic insert-only with append-optimized leaves on vs off:
+// every key extends the max, so the rightmost fast path skips the
+// descent and tail-biased splits keep retired leaves ~full. The 1-thread
+// on/off ratio is CI-gated (append_path_speedup_1t >= 1.3).
+//
 // Rows: thread counts. Columns: Kops/s per tree. One table per mix.
 //
 // Flags: --quick shrinks every cell ~10x (CI smoke). Every cell is also
@@ -59,7 +64,8 @@ void Record(const std::string& config, int threads, double kops) {
 
 void WriteJson(const char* path, bool quick, double read_path_speedup_1t,
                double write_path_speedup_1t, double mixed_scaling_4t_over_1t,
-               double batch_io_speedup_1t) {
+               double batch_io_speedup_1t, double append_path_speedup_1t,
+               double monotonic_scaling_4t_over_1t) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -89,6 +95,18 @@ void WriteJson(const char* path, bool quick, double read_path_speedup_1t,
   // the ratio over a serial Get loop measures pure I/O overlap — it needs
   // no extra cores and is CI-gated >= 3x even on a 1-CPU runner.
   std::fprintf(f, "  \"batch_io_speedup_1t\": %.3f,\n", batch_io_speedup_1t);
+  // Monotonic insert-only, 1 thread: append-optimized leaves (rightmost
+  // fast path + tail-biased splits) over the same workload with
+  // append_leaves off. Needs no extra cores, so CI's perf-smoke gates it
+  // >= 1.3 even on a 1-CPU runner.
+  std::fprintf(f, "  \"append_path_speedup_1t\": %.3f,\n",
+               append_path_speedup_1t);
+  // Append-on monotonic insert scaling, 4 threads over 1, all threads
+  // interleaving ONE key sequence (every insert targets the rightmost
+  // leaf — the worst-case writer convoy). Gated >= 1.3 only on
+  // multi-core runners, like mixed_scaling_4t_over_1t.
+  std::fprintf(f, "  \"monotonic_scaling_4t_over_1t\": %.3f,\n",
+               monotonic_scaling_4t_over_1t);
   std::fprintf(f, "  \"configs\": [\n");
   const std::vector<JsonSample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -379,6 +397,77 @@ double RunBatchComparison(bool quick) {
   return gated_speedup;
 }
 
+// ------------------------------------------------------------------- E2f
+
+DriverResult MonotonicRun(bool append, int threads, uint64_t ops_per_thread) {
+  TreeOptions options;
+  options.min_entries = 32;
+  options.append_leaves = append;
+  SagivTree tree(options);
+  // Fresh spec per run: the contended preset's shared sequence counter
+  // must start at 1 for every cell. With shared_seq every thread draws
+  // from ONE atomic sequence, so every insert extends the global max —
+  // the pure append adversary (and best case) for the fast path.
+  const WorkloadSpec spec = WorkloadSpec::MonotonicContended();
+  return RunWorkload(&tree, spec, threads, ops_per_thread, /*seed=*/23);
+}
+
+void RunMonotonicComparison(bool quick, double* append_speedup_1t,
+                            double* scaling_4t_over_1t) {
+  PrintBanner(
+      "E2f: monotonic insert-only, append-optimized leaves on vs off",
+      "every key extends the max, so with append_leaves the insert skips "
+      "the descent entirely: lock the cached rightmost leaf, validate it "
+      "is still the live rightmost and the key still exceeds its last "
+      "entry, append in place (no tail shift), and split tail-biased so "
+      "retired leaves stay ~100% full instead of ~50%. off/on is the same "
+      "workload with the knob cleared; fast-hits/op should approach 1");
+  const uint64_t ops = quick ? 30'000 : 200'000;
+  std::printf("workload: monotonic-contended, %llu ops/thread\n",
+              static_cast<unsigned long long>(ops));
+  Table table({"threads", "append-off", "append-on", "on/off", "fast-hits/op",
+               "tail-splits"});
+  double on_1t = 0.0;
+  double on_4t = 0.0;
+  for (int threads : {1, 4}) {
+    // Best-of-3 everywhere: both the 1-thread speedup and the 4t/1t
+    // scaling ratio are CI-gated, so a miss must mean a real regression,
+    // not scheduler noise.
+    double off_kops = 0.0;
+    double on_kops = 0.0;
+    DriverResult on_result;
+    for (int a = 0; a < 3; ++a) {
+      const DriverResult off = MonotonicRun(false, threads, ops);
+      const DriverResult on = MonotonicRun(true, threads, ops);
+      off_kops = std::max(off_kops, off.MopsPerSec() * 1000.0);
+      if (on.MopsPerSec() * 1000.0 > on_kops) {
+        on_kops = on.MopsPerSec() * 1000.0;
+        on_result = on;
+      }
+    }
+    Record("monotonic-insert/append-off", threads, off_kops);
+    Record("monotonic-insert/append-on", threads, on_kops);
+    if (threads == 1) {
+      on_1t = on_kops;
+      if (off_kops > 0) *append_speedup_1t = on_kops / off_kops;
+    } else {
+      on_4t = on_kops;
+    }
+    const double hits_per_op =
+        static_cast<double>(on_result.stats.Get(StatId::kAppendFastHits)) /
+        static_cast<double>(on_result.total_ops);
+    table.AddRow({Fmt(static_cast<uint64_t>(threads)), Fmt(off_kops),
+                  Fmt(on_kops), FmtRatio(on_kops, off_kops),
+                  Fmt(hits_per_op, 4),
+                  Fmt(on_result.stats.Get(StatId::kTailSplits))});
+  }
+  table.Print();
+  *scaling_4t_over_1t = on_1t > 0 ? on_4t / on_1t : 0.0;
+  std::printf(
+      "(cells are Kops/s; higher is better; append-on 4t/1t = %.2fx)\n\n",
+      *scaling_4t_over_1t);
+}
+
 // The 1->4 thread single-tree scaling cell: mixed(50/25/25) in-memory on
 // ONE Sagiv tree. BENCH_sharding.json first exposed the regression here
 // (2.18M ops/s at 1 thread -> 1.28M at 4 on the seed write path); PR 4
@@ -428,6 +517,9 @@ int main(int argc, char** argv) {
   const double speedup_1t = RunReadPathComparison(quick);
   const double write_speedup_1t = RunWritePathComparison(quick);
   const double batch_io_speedup = RunBatchComparison(quick);
+  double append_speedup_1t = 0.0;
+  double monotonic_scaling = 0.0;
+  RunMonotonicComparison(quick, &append_speedup_1t, &monotonic_scaling);
   const double mixed_scaling =
       MeasureMixedScaling(quick ? 20'000 : 150'000, quick ? 40'000 : 400'000);
 
@@ -463,6 +555,7 @@ int main(int argc, char** argv) {
   RunMix(zipf, io_threads, io_ns, io_ops, key_space);
 
   WriteJson("BENCH_throughput.json", quick, speedup_1t, write_speedup_1t,
-            mixed_scaling, batch_io_speedup);
+            mixed_scaling, batch_io_speedup, append_speedup_1t,
+            monotonic_scaling);
   return 0;
 }

@@ -148,7 +148,18 @@ class ConcurrentMap {
   /// Snapshot of operation counters.
   StatsSnapshot Stats() const { return tree_->stats()->Snapshot(); }
 
+  /// Snapshot of the leaf fill-factor histogram the write path maintains
+  /// online: one sample (fill percent of the retiring left node) per leaf
+  /// split, so no tree walk is needed. Midpoint splits cluster near 50,
+  /// tail-biased splits (TreeOptions::append_leaves) near 100. For the
+  /// walk-based per-leaf distribution, see Shape().leaf_fill_pct.
+  Histogram LeafFillHistogram() const {
+    return tree_->stats()->LeafFillHistogram();
+  }
+
   /// Structural statistics (walks the tree; prefer quiescent moments).
+  /// Includes the per-leaf fill-percent distribution
+  /// (TreeShape::leaf_fill_pct).
   TreeShape Shape() const;
 
   /// Full structural validation (quiescent only).

@@ -79,6 +79,27 @@ struct TreeOptions {
   /// (StatId::kInplaceFallbacks).
   bool inplace_writes = true;
 
+  /// When true (default), the tree optimizes the monotonic-insert pattern
+  /// (auto-increment IDs, timestamps) two ways. (1) Rightmost fast path:
+  /// an insert whose key exceeds the tree's current max skips the full
+  /// descent — it locks a cached rightmost-leaf hint, validates under the
+  /// lock that the node is still the live rightmost leaf (nil link,
+  /// high = +inf) and that the key extends its max, and appends in place
+  /// (Node::AppendLeafEntryInPlace: no tail shift, count published last
+  /// under the usual seqlock bracketing). A stale hint — the leaf split,
+  /// was merged away, or its page was reused — simply fails validation
+  /// and the insert falls back to the normal descent, which refreshes the
+  /// hint (StatId::kAppendFastHits / kAppendFastMisses). (2) Tail-biased
+  /// splits: when the splitting node is the rightmost of its level and
+  /// the incoming key is its new max, the split keeps all but the last
+  /// entry on the left instead of half (StatId::kTailSplits), lifting
+  /// steady-state leaf fill from ~50% to ~100% on monotonic load (the
+  /// rightmost node of a level is exempt from the half-full invariant, so
+  /// the near-empty new node is legal and fills with the next appends).
+  /// Uniform and mixed workloads are unaffected: the fast path only arms
+  /// for max-extending keys and the split bias only for rightmost nodes.
+  bool append_leaves = true;
+
   /// Spin budget of the paper lock (storage/paper_lock.h): probe rounds a
   /// contended acquisition performs — test-and-test-and-set with
   /// exponential backoff — before parking on a futex (Lock) or giving the

@@ -160,7 +160,9 @@ SagivTree::SagivTree(const TreeOptions& options)
       stats_(new StatsCollector()),
       epoch_(new EpochManager()),
       queue_(nullptr),
-      size_(0) {
+      size_(0),
+      rightmost_hint_(kInvalidPageId),
+      max_key_hint_(kMinusInfinity) {
   if (!init_status_.ok()) options_ = TreeOptions();
   pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get());
   pager_->set_simulated_io_ns(options_.simulated_io_ns);
@@ -181,6 +183,7 @@ SagivTree::SagivTree(const TreeOptions& options)
   pb.num_levels = 1;
   pb.leftmost[0] = *root;
   prime_.Write(pb);
+  rightmost_hint_.store(*root, std::memory_order_release);
 }
 
 SagivTree::~SagivTree() = default;
@@ -963,6 +966,28 @@ void SagivTree::InsertIntoSafeInPlace(PageId page_id, Key key,
   st->completed = true;
 }
 
+// Split point for the node in `page` (post-ApplyInsert), honoring the
+// append_leaves tail bias: when the node is the rightmost of its level
+// (nil link) and the just-inserted key is its largest — for a leaf the
+// last entry; for an internal node the last FINITE separator, since a
+// rightmost internal node's final entry is the +inf upper bound — split
+// at the high end, keeping all but one entry on the left. The retiring
+// left node ends ~full instead of half-full, and the near-empty new
+// rightmost node (legal: rightmost nodes are exempt from the half-full
+// invariant) absorbs the next run of appends. Returns 0 (midpoint) when
+// the bias does not apply.
+uint32_t SagivTree::TailSplitKeep(const Node* node, Key key) const {
+  if (!options_.append_leaves || node->link != kInvalidPageId ||
+      node->count < 3) {
+    return 0;
+  }
+  const uint32_t n = node->count;
+  const bool max_extending = node->is_leaf()
+                                 ? node->entries[n - 1].key == key
+                                 : node->entries[n - 2].key == key;
+  return max_extending ? n - 1 : 0;
+}
+
 Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
                                    uint64_t down_ptr, AscentState* st) {
   Node* node = page->As<Node>();
@@ -975,8 +1000,17 @@ Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
 
   Page right_buf;
   Node* right = right_buf.As<Node>();
-  node->SplitInto(right, *right_page);
+  const uint32_t keep = TailSplitKeep(node, key);
+  node->SplitInto(right, *right_page, keep);
   stats_->Add(StatId::kSplits);
+  if (keep != 0) stats_->Add(StatId::kTailSplits);
+  if (node->is_leaf()) {
+    stats_->RecordLeafFill(node->count * 100 / options_.capacity());
+    if (options_.append_leaves && right->link == kInvalidPageId) {
+      // The split frontier moved: the new node is the rightmost leaf.
+      rightmost_hint_.store(*right_page, std::memory_order_release);
+    }
+  }
 
   // Write the new node B first, then rewrite A; the instant A's image
   // lands, B is reachable through A's link (Fig. 3). One lock throughout.
@@ -1011,9 +1045,19 @@ Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
 
   Page right_buf;
   Node* right = right_buf.As<Node>();
-  node->SplitInto(right, *right_page);
+  const uint32_t keep = TailSplitKeep(node, key);
+  node->SplitInto(right, *right_page, keep);
   node->set_root(false);  // the root bit moves to R in the same rewrite
   stats_->Add(StatId::kSplits);
+  if (keep != 0) stats_->Add(StatId::kTailSplits);
+  if (node->is_leaf()) {
+    stats_->RecordLeafFill(node->count * 100 / options_.capacity());
+    if (options_.append_leaves) {
+      // The root was a lone leaf, so the new right node — rightmost by
+      // construction — is now the rightmost leaf.
+      rightmost_hint_.store(*right_page, std::memory_order_release);
+    }
+  }
 
   pager_->Put(*right_page, right_buf);
   pager_->Put(page_id, *page);
@@ -1045,6 +1089,72 @@ Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
   return Status::OK();
 }
 
+void SagivTree::NoteMaxKey(Key key) {
+  Key cur = max_key_hint_.load(std::memory_order_relaxed);
+  while (key > cur && !max_key_hint_.compare_exchange_weak(
+                          cur, key, std::memory_order_relaxed)) {
+  }
+}
+
+Status SagivTree::TryAppendFast(Key key, Value value, bool* done) {
+  *done = false;
+  const PageId hint = rightmost_hint_.load(std::memory_order_acquire);
+  pager_->Lock(hint);
+  // The hint is unverified: the page may have split, been merged away, or
+  // been retired and reused as anything since it was cached. Re-establish
+  // the truth under the lock through PeekLocked validation (a reuse
+  // pipeline can rewrite even a locked page; same discipline as
+  // AcquireTargetInPlace): the node must still be the live rightmost leaf
+  // — not deleted, level 0, nil link, high = +inf — with room to grow,
+  // and `key` must extend its max (which also proves the key absent from
+  // the whole tree: every other leaf holds smaller keys). Once an image
+  // validates, the lock alone pins it.
+  int failures = 0;
+  for (;;) {
+    const PageManager::ReadGuard g = pager_->PeekLocked(hint);
+    bool is_target = false;
+    bool torn = true;
+    if (g.stable()) {
+      const NodeView view(g.page()->As<Node>());
+      const uint32_t n = view.count();
+      is_target = !view.is_deleted() && view.is_leaf() &&
+                  view.link() == kInvalidPageId &&
+                  view.high() == kPlusInfinity && n < options_.capacity() &&
+                  key > (n > 0 ? view.entry_key(n - 1) : view.low());
+      torn = !g.Validate();
+    }
+    if (!torn) {
+      if (!is_target) break;  // stale hint (or leaf full): miss
+      if (options_.inplace_writes) {
+        PageManager::WriteGuard wg = pager_->BeginWrite(hint);
+        const size_t bytes =
+            wg.page()->As<Node>()->AppendLeafEntryInPlace(key, value);
+        wg.Release();
+        pager_->Unlock(hint);
+        stats_->Add(StatId::kInplaceWrites);
+        stats_->Add(StatId::kWriteBytesInplace, bytes);
+      } else {
+        Page page;
+        pager_->Get(hint, &page);
+        page.As<Node>()->InsertLeafEntry(key, value);
+        pager_->Put(hint, page);
+        pager_->Unlock(hint);
+        stats_->Add(StatId::kWriteBytesCopied, 2 * kPageSize);  // get + put
+      }
+      stats_->Add(StatId::kAppendFastHits);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      NoteMaxKey(key);
+      *done = true;
+      return Status::OK();
+    }
+    stats_->Add(StatId::kOptimisticRetries);
+    if (++failures > options_.optimistic_retry_limit) break;  // miss
+  }
+  pager_->Unlock(hint);
+  stats_->Add(StatId::kAppendFastMisses);
+  return Status::OK();
+}
+
 Status SagivTree::Insert(Key key, Value value) {
   if (key < 1 || key > kMaxUserKey) {
     return Status::InvalidArgument("key out of range");
@@ -1052,12 +1162,32 @@ Status SagivTree::Insert(Key key, Value value) {
   stats_->Add(StatId::kInserts);
   EpochManager::Guard guard(epoch_.get());
 
+  // Rightmost fast path: a key beyond every key ever inserted can only
+  // belong at the end of the rightmost leaf — try to append there without
+  // descending. A miss (stale hint) falls through to the normal descent,
+  // which refreshes the hint below.
+  const bool max_extending =
+      options_.append_leaves &&
+      key > max_key_hint_.load(std::memory_order_relaxed);
+  if (max_extending) {
+    bool done = false;
+    Status s = TryAppendFast(key, value, &done);
+    if (done) return s;
+  }
+
   std::vector<PageId> local_stack;
   TlStackLease stack_lease(&local_stack);
   std::vector<PageId>& stack = *stack_lease.stack();
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
-  return InsertCommit(key, value, *found, &stack, /*overwrite=*/false);
+  if (max_extending) {
+    // The leaf a max-extending key descends to IS the current rightmost
+    // leaf; an already-stale store only costs the next attempt a miss.
+    rightmost_hint_.store(*found, std::memory_order_release);
+  }
+  Status s = InsertCommit(key, value, *found, &stack, /*overwrite=*/false);
+  if (s.ok() && max_extending) NoteMaxKey(key);
+  return s;
 }
 
 Status SagivTree::Upsert(Key key, Value value) {
@@ -1069,12 +1199,28 @@ Status SagivTree::Upsert(Key key, Value value) {
   stats_->Add(StatId::kInserts);
   EpochManager::Guard guard(epoch_.get());
 
+  // A key beyond the tree's max is necessarily absent, so the upsert is a
+  // plain insert and the rightmost fast path applies unchanged.
+  const bool max_extending =
+      options_.append_leaves &&
+      key > max_key_hint_.load(std::memory_order_relaxed);
+  if (max_extending) {
+    bool done = false;
+    Status s = TryAppendFast(key, value, &done);
+    if (done) return s;
+  }
+
   std::vector<PageId> local_stack;
   TlStackLease stack_lease(&local_stack);
   std::vector<PageId>& stack = *stack_lease.stack();
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
-  return InsertCommit(key, value, *found, &stack, /*overwrite=*/true);
+  if (max_extending) {
+    rightmost_hint_.store(*found, std::memory_order_release);
+  }
+  Status s = InsertCommit(key, value, *found, &stack, /*overwrite=*/true);
+  if (s.ok() && max_extending) NoteMaxKey(key);
+  return s;
 }
 
 Status SagivTree::InsertCommit(Key key, Value value, PageId start,

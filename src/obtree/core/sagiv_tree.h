@@ -246,6 +246,30 @@ class SagivTree {
   void MultiMutate(const Key* keys, const Value* values, size_t n,
                    Status* out, MutateKind kind, BatchStats* batch_stats);
 
+  // --- append-optimized rightmost fast path (options().append_leaves) ----
+  //
+  // The hint pair below is pure optimization state: correctness never
+  // depends on it. rightmost_hint_ names a page that WAS the rightmost
+  // leaf at some point; max_key_hint_ is a key that WAS >= every stored
+  // key at some point (monotone under inserts, possibly stale-high after
+  // deletes — which only disarms the fast path, never misroutes it).
+  // TryAppendFast re-establishes the truth under the paper lock before
+  // touching anything.
+
+  // Attempt the rightmost-append fast path for (key, value): lock the
+  // hinted page, validate under the lock that it is still the live
+  // rightmost leaf (not deleted, level 0, nil link, high = +inf, not
+  // full) and that `key` extends its max, then append — in place under a
+  // seqlock write bracket when options().inplace_writes, via the get/put
+  // copy cycle otherwise. On success sets *done and returns the insert's
+  // status (kAppendFastHits). Any validation failure unlocks, counts
+  // kAppendFastMisses, leaves *done false, and the caller runs the normal
+  // descent. The caller holds the epoch guard and has counted kInserts.
+  Status TryAppendFast(Key key, Value value, bool* done);
+
+  // Raise max_key_hint_ to at least `key` (relaxed CAS-max).
+  void NoteMaxKey(Key key);
+
   // The locked second half of Insert/Upsert (the Fig. 5 "repeat until
   // completed" loop), starting from a descent's level-0 result `start`
   // with its movedown stack. With `overwrite`, a key found present in
@@ -365,6 +389,10 @@ class SagivTree {
   // child-split post above.
   static void ApplyInsert(Node* node, Key key, uint64_t down_ptr);
 
+  // Tail-biased split point (0 = midpoint) for a post-ApplyInsert node;
+  // see the definition for the bias rule.
+  uint32_t TailSplitKeep(const Node* node, Key key) const;
+
   TreeOptions options_;
   Status init_status_;
 
@@ -375,6 +403,13 @@ class SagivTree {
 
   std::atomic<CompressionQueue*> queue_;
   std::atomic<uint64_t> size_;
+
+  // Append fast-path hints (see TryAppendFast). rightmost_hint_ is
+  // refreshed by descents and rightmost-leaf splits; max_key_hint_ only
+  // ever rises (a deleted max leaves it stale-high, which merely keeps
+  // the fast path off until a larger key arrives).
+  std::atomic<PageId> rightmost_hint_;
+  std::atomic<Key> max_key_hint_;
 };
 
 }  // namespace obtree

@@ -44,6 +44,9 @@ std::string TreeShape::ToString() const {
     out += std::to_string(nodes_per_level[i]);
   }
   out += "]";
+  if (leaf_fill_pct.count() > 0) {
+    out += " leaf_fill_pct{" + leaf_fill_pct.ToString() + "}";
+  }
   return out;
 }
 
@@ -214,6 +217,7 @@ TreeShape TreeChecker::ComputeShape() const {
       if (level == 0) {
         shape.num_keys += node->count;
         leaf_fill_total += node->count;
+        shape.leaf_fill_pct.Add(node->count * 100 / capacity);
       }
       current = node->link;
     }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obtree/core/sagiv_tree.h"
+#include "obtree/util/histogram.h"
 #include "obtree/util/status.h"
 
 namespace obtree {
@@ -26,6 +27,15 @@ struct TreeShape {
   uint64_t underfull_nodes = 0; ///< non-root nodes with < k entries
   double avg_leaf_fill = 0.0;   ///< mean leaf entries / capacity
   std::vector<uint64_t> nodes_per_level;  ///< index 0 = leaves
+
+  /// Per-leaf fill percentage (entries * 100 / capacity), one sample per
+  /// live leaf: the distribution behind avg_leaf_fill. Midpoint splits
+  /// leave the body of the distribution near 50; the append-optimized
+  /// tail-biased splits push it toward 100 (the current rightmost leaf is
+  /// the one legitimately low sample). The live counterpart, sampled at
+  /// split time instead of by a walk, is StatsCollector::
+  /// LeafFillHistogram().
+  Histogram leaf_fill_pct;
 
   std::string ToString() const;
 };

@@ -81,6 +81,17 @@ size_t Node::InsertLeafEntryInPlace(Key k, Value v) {
   return (n - i + 1) * sizeof(Entry) + sizeof(count);
 }
 
+size_t Node::AppendLeafEntryInPlace(Key k, Value v) {
+  assert(is_leaf());
+  assert(count < kMaxEntries);
+  const uint32_t n = count;
+  assert(n == 0 || entries[n - 1].key < k);
+  PageStoreWord(&entries[n].key, k);
+  PageStoreWord(&entries[n].value, v);
+  StoreCountInPlace(n + 1);
+  return sizeof(Entry) + sizeof(count);
+}
+
 size_t Node::RemoveLeafEntryAtInPlace(uint32_t i) {
   assert(is_leaf());
   const uint32_t n = count;
@@ -179,13 +190,16 @@ bool Node::ApplyChildSeparatorChange(Key old_sep, Key new_sep, PageId child) {
   return true;
 }
 
-void Node::SplitInto(Node* right, PageId right_page) {
+void Node::SplitInto(Node* right, PageId right_page, uint32_t keep) {
   assert(count >= 2);
-  // Keep the ceiling half on the left: splitting 2k+1 entries must leave
-  // BOTH halves strictly below capacity, or ascending insertions at k=1
-  // re-split the (full) right node on every insert and the tree grows one
-  // level per insertion.
-  const uint32_t keep = count - count / 2;
+  if (keep == 0) {
+    // Keep the ceiling half on the left: splitting 2k+1 entries must leave
+    // BOTH halves strictly below capacity, or ascending insertions at k=1
+    // re-split the (full) right node on every insert and the tree grows one
+    // level per insertion.
+    keep = count - count / 2;
+  }
+  assert(keep >= 1 && keep < count);
   const uint32_t move = count - keep;
 
   right->Init(level, /*low=*/entries[keep - 1].key, /*high=*/high, link);

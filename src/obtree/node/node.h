@@ -135,6 +135,15 @@ struct Node {
   /// and publishes the new count last. Same preconditions.
   size_t InsertLeafEntryInPlace(Key k, Value v);
 
+  /// In-place append of (k, v) past the current last entry: no tail shift
+  /// at all — two word stores into the slot at index count, then the new
+  /// count published last (a racing optimistic reader either sees the old
+  /// count and ignores the slot, or a moved seqlock version and discards
+  /// everything). The rightmost-insert fast path's leaf primitive.
+  /// Preconditions: leaf, count < kMaxEntries, and k greater than every
+  /// stored key (k > entries[count-1].key, or any k when empty).
+  size_t AppendLeafEntryInPlace(Key k, Value v);
+
   /// In-place RemoveLeafEntry, by index: the caller already located the
   /// entry (LowerBound under the same lock), so the removal does not
   /// repeat the search. Shifts the tail down one slot front-to-back.
@@ -188,12 +197,16 @@ struct Node {
 
   // --- restructuring -------------------------------------------------------
 
-  /// Split this (full) node: keep the low half here, move the high half to
-  /// *right (which must be a fresh node at page `right_page`). Afterwards
-  /// this->high is the largest remaining key (leaf) / last upper bound
-  /// (internal), and this->link points at right_page. Works for leaves and
-  /// internal nodes alike.
-  void SplitInto(Node* right, PageId right_page);
+  /// Split this (full) node: keep the first `keep` entries here, move the
+  /// rest to *right (which must be a fresh node at page `right_page`).
+  /// Afterwards this->high is the largest remaining key (leaf) / last
+  /// upper bound (internal), and this->link points at right_page. Works
+  /// for leaves and internal nodes alike. keep = 0 (the default) splits at
+  /// the midpoint, keeping the ceiling half on the left; a caller-chosen
+  /// keep in [1, count-1] supports the tail-biased splits of the
+  /// append-optimized path (keep = count-1 leaves the old rightmost node
+  /// ~full and seeds the new rightmost with a single entry).
+  void SplitInto(Node* right, PageId right_page, uint32_t keep = 0);
 
   /// Absorb the right sibling `right` (all entries appended; high and link
   /// taken from right). Caller marks `right` deleted.

@@ -29,8 +29,11 @@ const char* StatName(StatId id) {
     case StatId::kInplaceFallbacks: return "inplace_fallbacks";
     case StatId::kWriteBytesInplace: return "write_bytes_inplace";
     case StatId::kWriteBytesCopied: return "write_bytes_copied";
+    case StatId::kAppendFastHits: return "append_fast_hits";
+    case StatId::kAppendFastMisses: return "append_fast_misses";
     case StatId::kMergePointerFollows: return "merge_pointer_follows";
     case StatId::kSplits: return "splits";
+    case StatId::kTailSplits: return "tail_splits";
     case StatId::kMerges: return "merges";
     case StatId::kRedistributions: return "redistributions";
     case StatId::kNodesRetired: return "nodes_retired";
@@ -172,6 +175,7 @@ void StatsCollector::Reset() {
   }
   max_locks_held_.store(0, std::memory_order_relaxed);
   lock_wait_ns_.Reset();
+  leaf_fill_pct_.Reset();
 }
 
 }  // namespace obtree

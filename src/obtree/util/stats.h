@@ -21,6 +21,24 @@
 namespace obtree {
 
 /// Identifiers for the counters a tree maintains.
+///
+/// Attribution rules (who increments what, and on which tree):
+///   * Physical counters (kGets/kPuts/kLocks*/kInplace*/kWriteBytes*)
+///     count PAGE-LAYER events and accrue on the tree that owns the page,
+///     regardless of which thread — user op, compressor, pool worker, or
+///     migration — touched it.
+///   * Logical counters (kSearches/kInserts/kDeletes, kBatchOps) count one
+///     per USER-LEVEL call on the tree the call was routed to, before the
+///     operation runs — a restarted or failed op still counts once, never
+///     twice. An Upsert counts as one kInserts either way.
+///   * Outcome pairs (kAppendFastHits/kAppendFastMisses,
+///     kOptimisticValidations/kOptimisticRetries, kFetchRetries/
+///     kFetchGiveups) are disjoint: one attempt increments exactly one
+///     side, so rates are hits / (hits + misses) with no double counting.
+///     A fast-path miss also proceeds down the normal path, where it may
+///     increment that path's counters — misses are not failures.
+///   * Rebalancer counters name their tree explicitly in the comments
+///     below (donor vs receiver); map-level aggregation sums all shards.
 enum class StatId : int {
   kGets = 0,             ///< page reads (the paper's get)
   kPuts,                 ///< page writes (the paper's put)
@@ -61,8 +79,19 @@ enum class StatId : int {
   kWriteBytesCopied,     ///< bytes moved by copy-path mutations on the
                          ///< Insert/Delete paths (page copied out under
                          ///< the lock + every page image written back)
+  kAppendFastHits,       ///< inserts completed by the rightmost fast path
+                         ///< (options().append_leaves): descent skipped,
+                         ///< key appended to the hinted rightmost leaf
+  kAppendFastMisses,     ///< fast-path attempts whose locked validation
+                         ///< failed (hint stale: leaf split, merged away,
+                         ///< page reused, or leaf full) — the insert then
+                         ///< took the normal descent, whose counters it
+                         ///< increments as usual
   kMergePointerFollows,  ///< deleted node hops recovered via merge pointer
-  kSplits,               ///< node splits
+  kSplits,               ///< node splits (tail-biased ones included)
+  kTailSplits,           ///< the subset of kSplits that were tail-biased
+                         ///< (rightmost node, max-extending key: the old
+                         ///< node keeps all but one entry)
   kMerges,               ///< compression merges (B absorbed into A)
   kRedistributions,      ///< compression redistributions
   kNodesRetired,         ///< nodes marked deleted
@@ -247,6 +276,16 @@ class StatsCollector {
   /// contended-acquisition wait times, in ns).
   Histogram LockWaitHistogram() const { return lock_wait_ns_.Snapshot(); }
 
+  /// Record the fill percentage (entries * 100 / capacity) of the LEFT
+  /// node of a leaf split — the node the split frontier just retired. A
+  /// midpoint split records ~50, a tail-biased split ~100, so this
+  /// histogram is the live view of steady-state leaf fill that
+  /// TreeShape's offline walk confirms.
+  void RecordLeafFill(uint64_t pct) { leaf_fill_pct_.Add(pct); }
+
+  /// Point-in-time copy of the leaf-fill histogram (percent, 0-100).
+  Histogram LeafFillHistogram() const { return leaf_fill_pct_.Snapshot(); }
+
   /// Sum of counter `id` across shards.
   uint64_t Get(StatId id) const;
 
@@ -272,6 +311,7 @@ class StatsCollector {
   std::array<Shard, kShards> shards_;
   std::atomic<uint64_t> max_locks_held_;
   AtomicHistogram lock_wait_ns_;
+  AtomicHistogram leaf_fill_pct_;
 };
 
 }  // namespace obtree

@@ -69,12 +69,28 @@ WorkloadSpec WorkloadSpec::ShardHotSpot(uint32_t num_shards) {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::MonotonicInsert() {
+  WorkloadSpec s = InsertOnly();
+  s.distribution = KeyDistribution::kMonotonic;
+  s.name = "monotonic-insert";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::MonotonicContended() {
+  WorkloadSpec s = InsertOnly();
+  s.distribution = KeyDistribution::kMonotonic;
+  s.shared_seq = std::make_shared<std::atomic<uint64_t>>(1);
+  s.name = "monotonic-contended";
+  return s;
+}
+
 std::string WorkloadSpec::Describe() const {
   char buf[192];
   const char* dist = distribution == KeyDistribution::kUniform ? "uniform"
                      : distribution == KeyDistribution::kZipfian ? "zipf"
-                     : distribution == KeyDistribution::kHotSpot
-                         ? "hotspot"
+                     : distribution == KeyDistribution::kHotSpot ? "hotspot"
+                     : distribution == KeyDistribution::kMonotonic
+                         ? (shared_seq ? "monotonic-contended" : "monotonic")
                          : "sequential";
   std::snprintf(buf, sizeof(buf),
                 "%s dist=%s keyspace=%llu preload=%llu",
@@ -114,6 +130,18 @@ Key OpGenerator::DrawKey() {
       // than packed into one leaf run (YCSB convention).
       return ScrambleKey(zipf_->Next(&rng_)) % spec_.key_space + 1;
     case KeyDistribution::kSequential: {
+      const uint64_t i = seq_next_;
+      seq_next_ += seq_stride_;
+      return (i - 1) % kMaxUserKey + 1;
+    }
+    case KeyDistribution::kMonotonic: {
+      if (spec_.shared_seq) {
+        // One sequence interleaved by every thread: each key extends the
+        // global max, so every insert aims at the rightmost leaf.
+        const uint64_t n =
+            spec_.shared_seq->fetch_add(1, std::memory_order_relaxed);
+        return (spec_.preload + n - 1) % kMaxUserKey + 1;
+      }
       const uint64_t i = seq_next_;
       seq_next_ += seq_stride_;
       return (i - 1) % kMaxUserKey + 1;

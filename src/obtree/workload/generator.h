@@ -7,6 +7,7 @@
 #ifndef OBTREE_WORKLOAD_GENERATOR_H_
 #define OBTREE_WORKLOAD_GENERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,6 +25,15 @@ enum class KeyDistribution {
   kUniform,     ///< uniform over [1, key_space]
   kZipfian,     ///< Zipf-skewed ranks scrambled over the key space
   kSequential,  ///< monotonically increasing (append workloads)
+  kMonotonic,   ///< the time-series / auto-increment-ID pattern: keys form
+                ///< one globally increasing sequence. With shared_seq set
+                ///< (the MonotonicContended preset) every thread draws the
+                ///< next key from ONE shared atomic counter, so N threads
+                ///< interleave a single sequence and convoy on the
+                ///< rightmost leaf — the append-path adversary; without
+                ///< it, threads stride disjoint arithmetic subsequences
+                ///< (like kSequential) that are still globally ascending
+                ///< in aggregate
   kHotSpot,     ///< hot_op_fraction of ops hit the range
                 ///< [1, hot_key_fraction * key_space]; the rest are
                 ///< uniform. With hot_key_fraction = 1/num_shards this is
@@ -60,6 +70,22 @@ struct WorkloadSpec {
   /// first 1/num_shards of the key space (the worst case for range
   /// partitioning — one shard serves almost all traffic).
   static WorkloadSpec ShardHotSpot(uint32_t num_shards);
+
+  /// Insert-only over kMonotonic with per-thread strided subsequences:
+  /// the reproducible time-series ingest pattern.
+  static WorkloadSpec MonotonicInsert();
+
+  /// Insert-only over kMonotonic where every thread interleaves ONE
+  /// shared atomic sequence (a fresh counter per factory call): N threads
+  /// all extend the tree's max together, the worst case for the rightmost
+  /// leaf. Reusing the same spec object across runs continues the
+  /// sequence; call the factory again for a fresh one.
+  static WorkloadSpec MonotonicContended();
+
+  /// kMonotonic only: when set, DrawKey fetches the next sequence index
+  /// from this counter (shared by every generator copied from the spec)
+  /// instead of the per-thread stride. Keys are preload + index.
+  std::shared_ptr<std::atomic<uint64_t>> shared_seq;
 
   std::string name;  ///< label used in reports
 

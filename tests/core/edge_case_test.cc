@@ -107,12 +107,16 @@ class TreeBuilder {
     for (uint32_t l = 0; l < pb.num_levels; ++l) {
       pb.leftmost[l] = built.level_pages[l][0];
     }
-    // Clear the constructor-made root's bit (it becomes unreachable).
+    // Retire the constructor-made root: clear its bit and mark it deleted
+    // with a merge pointer into the built tree, as the protocol prescribes
+    // for every detached node (otherwise it still looks like a live empty
+    // rightmost leaf, which the append fast path would trust).
     {
       const PageId old_root = tree_->internal_prime()->Read().root();
       Page page;
       pager->Get(old_root, &page);
       page.As<Node>()->set_root(false);
+      page.As<Node>()->set_deleted(built.level_pages[0][0]);
       pager->Put(old_root, page);
     }
     tree_->internal_prime()->Write(pb);
