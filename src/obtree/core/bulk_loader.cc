@@ -128,8 +128,10 @@ Status BulkLoad(SagivTree* tree,
   PrimeBlockData pb;
   uint16_t level = 0;
   std::vector<Built> built;
+  PageId rightmost_leaf = kInvalidPageId;
   for (;;) {
     built = BuildLevel(pager, level, entries, per, k, cap);
+    if (level == 0) rightmost_leaf = built.back().page;
     pb.leftmost[level] = built[0].page;
     if (built.size() == 1) break;
     entries.clear();
@@ -164,6 +166,10 @@ Status BulkLoad(SagivTree* tree,
   tree->internal_prime()->Write(pb);
   pager->Retire(old_root);
   tree->internal_AdjustSize(static_cast<int64_t>(pairs.size()));
+  // Arm the append fast path for the loaded state: without this the
+  // watermark would sit at -inf, flagging every post-load insert as
+  // max-extending even below the loaded max.
+  tree->internal_NoteBulkLoad(pairs.back().first, rightmost_leaf);
   return Status::OK();
 }
 

@@ -162,7 +162,8 @@ SagivTree::SagivTree(const TreeOptions& options)
       queue_(nullptr),
       size_(0),
       rightmost_hint_(kInvalidPageId),
-      max_key_hint_(kMinusInfinity) {
+      max_key_hint_(kMinusInfinity),
+      frontier_seq_(0) {
   if (!init_status_.ok()) options_ = TreeOptions();
   pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get());
   pager_->set_simulated_io_ns(options_.simulated_io_ns);
@@ -996,6 +997,20 @@ Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
     pager_->Unlock(page_id);
     return right_page.status();
   }
+  // A rightmost-leaf split births a node B that is live-looking (leaf,
+  // nil link, +inf high) — exactly what TryAppendFast's locked
+  // validation accepts — yet unreachable until A's rewrite publishes the
+  // link. An appender could reach B's page id through a stale
+  // rightmost_hint_ (Allocate may have handed us a retired page some
+  // hint still names), validate B's post-put image, and append a key no
+  // concurrent search can find yet. Open the frontier publication epoch
+  // (odd) before B's put and close it (even) after A's: the odd bump is
+  // sequenced before B's release-store, so any appender whose acquire
+  // read validates B's image inside the window sees an odd-or-advanced
+  // epoch and misses. No second lock — insertions keep the paper's
+  // one-lock discipline.
+  const bool frontier_leaf = node->is_leaf() && node->link == kInvalidPageId;
+  if (frontier_leaf) frontier_seq_.fetch_add(1, std::memory_order_release);
   ApplyInsert(node, key, down_ptr);
 
   Page right_buf;
@@ -1006,16 +1021,21 @@ Status SagivTree::InsertIntoUnsafe(Page* page, PageId page_id, Key key,
   if (keep != 0) stats_->Add(StatId::kTailSplits);
   if (node->is_leaf()) {
     stats_->RecordLeafFill(node->count * 100 / options_.capacity());
-    if (options_.append_leaves && right->link == kInvalidPageId) {
-      // The split frontier moved: the new node is the rightmost leaf.
-      rightmost_hint_.store(*right_page, std::memory_order_release);
-    }
   }
 
   // Write the new node B first, then rewrite A; the instant A's image
   // lands, B is reachable through A's link (Fig. 3). One lock throughout.
   pager_->Put(*right_page, right_buf);
   pager_->Put(page_id, *page);
+  if (frontier_leaf) {
+    frontier_seq_.fetch_add(1, std::memory_order_release);
+    if (options_.append_leaves) {
+      // The split frontier moved: B is the rightmost leaf. Publish the
+      // hint only now — a hint readable before A's put would hand
+      // appenders a node no concurrent search can reach yet.
+      rightmost_hint_.store(*right_page, std::memory_order_release);
+    }
+  }
   pager_->Unlock(page_id);
   stats_->Add(StatId::kWriteBytesCopied, 3 * kPageSize);  // get + 2 puts
 
@@ -1041,6 +1061,11 @@ Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
     pager_->Unlock(page_id);
     return root_page.status();
   }
+  // Same frontier-split publication rule as InsertIntoUnsafe: hold the
+  // epoch odd across the new right node's initializing put through A's
+  // put, and publish the hint only once the link is live.
+  const bool frontier_leaf = node->is_leaf() && node->link == kInvalidPageId;
+  if (frontier_leaf) frontier_seq_.fetch_add(1, std::memory_order_release);
   ApplyInsert(node, key, down_ptr);
 
   Page right_buf;
@@ -1052,15 +1077,19 @@ Status SagivTree::InsertIntoUnsafeRoot(Page* page, PageId page_id, Key key,
   if (keep != 0) stats_->Add(StatId::kTailSplits);
   if (node->is_leaf()) {
     stats_->RecordLeafFill(node->count * 100 / options_.capacity());
-    if (options_.append_leaves) {
-      // The root was a lone leaf, so the new right node — rightmost by
-      // construction — is now the rightmost leaf.
-      rightmost_hint_.store(*right_page, std::memory_order_release);
-    }
   }
 
   pager_->Put(*right_page, right_buf);
   pager_->Put(page_id, *page);
+  if (frontier_leaf) {
+    frontier_seq_.fetch_add(1, std::memory_order_release);
+    if (options_.append_leaves) {
+      // The root was a lone leaf, so the new right node — rightmost by
+      // construction and reachable through A's link as of the put above
+      // — is now the rightmost leaf.
+      rightmost_hint_.store(*right_page, std::memory_order_release);
+    }
+  }
 
   // Build the new root R = (current, v, q, u, nil) — in entry form
   // [(high(A) -> A), (high(B) -> B)] — and only then rewrite the prime
@@ -1098,6 +1127,16 @@ void SagivTree::NoteMaxKey(Key key) {
 
 Status SagivTree::TryAppendFast(Key key, Value value, bool* done) {
   *done = false;
+  // Snapshot the frontier publication epoch before anything else. An odd
+  // value means a rightmost-leaf split is mid-publication somewhere: its
+  // fresh right node already looks like the live rightmost leaf but is
+  // not link-reachable yet, so nothing the lock-and-validate below could
+  // establish is trustworthy — miss immediately.
+  const uint64_t seq = frontier_seq_.load(std::memory_order_acquire);
+  if (seq & 1) {
+    stats_->Add(StatId::kAppendFastMisses);
+    return Status::OK();
+  }
   const PageId hint = rightmost_hint_.load(std::memory_order_acquire);
   pager_->Lock(hint);
   // The hint is unverified: the page may have split, been merged away, or
@@ -1108,7 +1147,20 @@ Status SagivTree::TryAppendFast(Key key, Value value, bool* done) {
   // — not deleted, level 0, nil link, high = +inf — with room to grow,
   // and `key` must extend its max (which also proves the key absent from
   // the whole tree: every other leaf holds smaller keys). Once an image
-  // validates, the lock alone pins it.
+  // validates, the lock alone pins it: marking a page deleted (the
+  // precondition for retiring and reusing it) needs this lock.
+  //
+  // One hazard survives the lock: page reuse may have handed this very
+  // page id to a concurrent frontier split as its new right node B,
+  // whose initializing put lands without B's lock held — a validation
+  // here could accept B's live-looking image while B is still
+  // unreachable (no link points at it until the splitter rewrites the
+  // left node). The epoch closes that window: the splitter bumps it odd
+  // before B's put, and that bump is visible to any reader whose
+  // validated image is B's (release put / acquire read), so re-checking
+  // the epoch after a successful validation rejects exactly those
+  // images. A stable epoch across snapshot and re-check proves the
+  // validated node was link-reachable.
   int failures = 0;
   for (;;) {
     const PageManager::ReadGuard g = pager_->PeekLocked(hint);
@@ -1125,6 +1177,9 @@ Status SagivTree::TryAppendFast(Key key, Value value, bool* done) {
     }
     if (!torn) {
       if (!is_target) break;  // stale hint (or leaf full): miss
+      if (frontier_seq_.load(std::memory_order_acquire) != seq) {
+        break;  // frontier split began or completed meanwhile: miss
+      }
       if (options_.inplace_writes) {
         PageManager::WriteGuard wg = pager_->BeginWrite(hint);
         const size_t bytes =
@@ -1181,8 +1236,12 @@ Status SagivTree::Insert(Key key, Value value) {
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
   if (max_extending) {
-    // The leaf a max-extending key descends to IS the current rightmost
-    // leaf; an already-stale store only costs the next attempt a miss.
+    // Best effort: a max-extending key's descent normally lands on the
+    // current rightmost leaf (every commit path — including MultiMutate —
+    // raises the watermark, so keys above it sort past everything
+    // stored). A racing larger insert that has committed but not yet
+    // noted itself can still make this cache a non-rightmost leaf; the
+    // locked validation rejects such a hint, costing only a miss.
     rightmost_hint_.store(*found, std::memory_order_release);
   }
   Status s = InsertCommit(key, value, *found, &stack, /*overwrite=*/false);
@@ -1216,6 +1275,7 @@ Status SagivTree::Upsert(Key key, Value value) {
   Result<PageId> found = internal_FindNodeAtLevel(key, 0, &stack);
   if (!found.ok()) return found.status();
   if (max_extending) {
+    // Best effort, exactly as in Insert above.
     rightmost_hint_.store(*found, std::memory_order_release);
   }
   Status s = InsertCommit(key, value, *found, &stack, /*overwrite=*/true);
@@ -1711,6 +1771,7 @@ void SagivTree::MultiMutate(const Key* keys, const Value* values, size_t n,
     // Phase 2: run each op's locked commit serially from its descent's
     // leaf — the locking protocol (one lock per process at a time) is
     // exactly the single-op one.
+    Key window_max = 0;  // largest committed insert/upsert key this window
     for (size_t j = 0; j < w; ++j) {
       BatchCont& op = conts[j];
       PageId start = op.current;
@@ -1746,7 +1807,19 @@ void SagivTree::MultiMutate(const Key* keys, const Value* values, size_t n,
                                      want_stack ? &op.stack : nullptr, guard);
           break;
       }
+      if (kind != MutateKind::kDelete && out[w0 + j].ok() &&
+          op.key > window_max) {
+        window_max = op.key;
+      }
     }
+    // Batched inserts must feed the append fast path's watermark like the
+    // single-op commits do: a batch that silently raised the tree max
+    // would leave max_key_hint_ stale-low, so later single inserts
+    // between the stale watermark and the true max would wrongly arm the
+    // fast path and cache a non-rightmost leaf in rightmost_hint_
+    // (harmless, but every attempt wastes a locked miss until the hints
+    // recover).
+    if (options_.append_leaves && window_max != 0) NoteMaxKey(window_max);
   }
   if (batch_stats) *batch_stats += bs;
 }

@@ -187,6 +187,17 @@ class SagivTree {
     size_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
   }
 
+  /// Record a bulk load's outcome for the append fast-path hints:
+  /// `max_key` is the largest loaded key and `rightmost_leaf` the page
+  /// holding it. Keeps max_key_hint_ from going stale-low (which would
+  /// arm the fast path for keys below the loaded max and poison
+  /// rightmost_hint_ with non-rightmost leaves) and points the first
+  /// max-extending insert straight at the loaded frontier.
+  void internal_NoteBulkLoad(Key max_key, PageId rightmost_leaf) {
+    NoteMaxKey(max_key);
+    rightmost_hint_.store(rightmost_leaf, std::memory_order_release);
+  }
+
   // Why a descent gave up on its current node and restarted from the
   // root; drives the per-cause restart counters. An implementation
   // detail, public only so sagiv_tree.cc's file-local route-dispatch
@@ -250,11 +261,17 @@ class SagivTree {
   //
   // The hint pair below is pure optimization state: correctness never
   // depends on it. rightmost_hint_ names a page that WAS the rightmost
-  // leaf at some point; max_key_hint_ is a key that WAS >= every stored
-  // key at some point (monotone under inserts, possibly stale-high after
-  // deletes — which only disarms the fast path, never misroutes it).
-  // TryAppendFast re-establishes the truth under the paper lock before
-  // touching anything.
+  // leaf at some point — and, crucially, was REACHABLE when stored: the
+  // split paths publish it only after the left sibling's rewrite makes
+  // the new node link-reachable (see InsertIntoUnsafe). max_key_hint_ is
+  // a key that WAS >= every stored key at some point (monotone under
+  // inserts, possibly stale-high after deletes — which only disarms the
+  // fast path, never misroutes it; every insert-commit path, including
+  // MultiMutate and BulkLoad, raises it). TryAppendFast re-establishes
+  // the truth under the paper lock before touching anything — and, for
+  // the one hazard the lock cannot see (a half-published frontier split
+  // whose fresh right node looks live before it is link-reachable),
+  // cross-checks frontier_seq_, the split-publication epoch below.
 
   // Attempt the rightmost-append fast path for (key, value): lock the
   // hinted page, validate under the lock that it is still the live
@@ -410,6 +427,21 @@ class SagivTree {
   // the fast path off until a larger key arrives).
   std::atomic<PageId> rightmost_hint_;
   std::atomic<Key> max_key_hint_;
+  // Frontier-split publication epoch (seqlock parity protocol, but over
+  // the TREE's rightmost frontier rather than a page). A split of the
+  // rightmost leaf bumps this odd before the new right node B's
+  // initializing put and even again after the left node's link-publishing
+  // put (InsertIntoUnsafe / InsertIntoUnsafeRoot). TryAppendFast misses
+  // whenever the epoch is odd or moved across its locked validation:
+  // B's image is live-looking (leaf, nil link, +inf high) from its first
+  // put, yet unreachable until the link lands — and page reuse can hand a
+  // stale rightmost_hint_ exactly that page id, so the paper lock alone
+  // cannot rule the window out. The epoch can, without a second lock:
+  // any validation that observes B's image inside the window also
+  // observes an odd-or-advanced epoch (B's put carries the odd bump via
+  // its release/acquire page write). Insertions therefore still hold at
+  // most one lock, the paper's Section 3 claim.
+  std::atomic<uint64_t> frontier_seq_;
 };
 
 }  // namespace obtree

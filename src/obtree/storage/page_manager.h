@@ -187,7 +187,11 @@ class PageManager {
   /// move underneath even a lock holder — but once an image validates as
   /// a live node, the lock alone pins it until Unlock (every further
   /// mutation, including the deletion marking that precedes Retire,
-  /// requires the paper lock).
+  /// requires the paper lock). Note the lock says nothing about
+  /// REACHABILITY: a validated image may be a half-published split's
+  /// fresh right node that no link points at yet; callers for whom that
+  /// matters need their own publication protocol (see SagivTree's
+  /// frontier_seq_ epoch and TryAppendFast).
   ReadGuard PeekLocked(PageId id) const;
 
   /// Handle for an in-place mutation of one page by the paper-lock

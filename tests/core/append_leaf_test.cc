@@ -12,6 +12,10 @@
 // compression churn (the 8-thread TSan stress).
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -35,6 +39,52 @@ TreeOptions SmallNodes(bool append) {
   options.append_leaves = append;
   return options;
 }
+
+// Pause a protocol thread at the entry of the Nth "put" hook event after
+// arming — id-agnostic, so tests need no knowledge of which page id a
+// split's Allocate hands out (it may be fresh or reused).
+class PutWindowGate {
+ public:
+  void Arm(int nth) {
+    std::lock_guard<std::mutex> l(mu_);
+    nth_ = nth;
+    puts_ = 0;
+    armed_ = true;
+    paused_ = false;
+    released_ = false;
+  }
+
+  // Called from the PageManager hook (protocol thread).
+  void OnHook(const char* op, PageId /*page*/) {
+    if (std::strcmp(op, "put") != 0) return;
+    std::unique_lock<std::mutex> l(mu_);
+    if (!armed_ || ++puts_ < nth_) return;
+    armed_ = false;
+    paused_ = true;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return released_; });
+  }
+
+  void AwaitPaused() {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return paused_; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> l(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int nth_ = 0;
+  int puts_ = 0;
+  bool armed_ = false;
+  bool paused_ = false;
+  bool released_ = false;
+};
 
 // Append mode must be invisible in results: drive an append-on and an
 // append-off tree through the same monotonic insert stream plus deletes
@@ -186,6 +236,177 @@ TEST(AppendLeafTest, DeletedMaxKeepsFastPathCorrect) {
   ASSERT_TRUE(tree.Insert(200, 201).ok());
   EXPECT_EQ(*tree.Search(70), 71u);
   EXPECT_EQ(*tree.Search(200), 201u);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// Batched inserts must raise the watermark like single-op commits do: a
+// MultiInsert that lifts the tree max used to leave max_key_hint_
+// stale-low, so a later single insert between the stale watermark and
+// the true max would wrongly arm the fast path (a wasted locked miss)
+// and poison rightmost_hint_ with a non-rightmost leaf.
+TEST(AppendLeafTest, BatchedInsertsRaiseTheWatermark) {
+  SagivTree tree(SmallNodes(true));
+  for (Key k = 1; k <= 20; ++k) ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+
+  // The batch lifts the tree max 20 -> 1000 through InsertCommit.
+  const Key keys[] = {500, 1000};
+  const Value values[] = {501, 1001};
+  Status out[2];
+  tree.MultiInsert(keys, values, 2, out);
+  ASSERT_TRUE(out[0].ok() && out[1].ok());
+
+  // 50 sits between the single-op max (20) and the batch max (1000):
+  // with the watermark raised by the batch it is not max-extending, so
+  // it takes the plain descent — no fast-path attempt, no miss.
+  const uint64_t misses_before =
+      tree.stats()->Get(StatId::kAppendFastMisses);
+  ASSERT_TRUE(tree.Insert(50, 51).ok());
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastMisses), misses_before);
+
+  // And the hint still names the true rightmost leaf: the next
+  // max-extending insert is a fast-path hit, not a miss-then-recover.
+  const uint64_t hits_before = tree.stats()->Get(StatId::kAppendFastHits);
+  ASSERT_TRUE(tree.Insert(2000, 2001).ok());
+  EXPECT_GT(tree.stats()->Get(StatId::kAppendFastHits), hits_before);
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastMisses), misses_before);
+
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// The split-publication rule: a frontier split's fresh right node B
+// holds a live-looking rightmost-leaf image from its first put, but is
+// unreachable until the left node's rewrite publishes the link. An
+// append arriving inside that put(B)..put(A) window must not complete —
+// a returned-OK insert that Search cannot find is a linearizability
+// violation. The splitter freezes between its two puts; the concurrent
+// max-extending insert must block on a page the splitter still holds
+// (and if it somehow completed, its key must be immediately visible).
+TEST(AppendLeafTest, AppendNeverCompletesInsideSplitPublicationWindow) {
+  SagivTree tree(SmallNodes(true));  // capacity 8
+  for (Key k = 1; k <= 16; ++k) ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+  // Leaves: {1..8} and the full rightmost {9..16}; inserting 17 tail-
+  // splits the rightmost. Its first two put events are put(B), put(A).
+  PutWindowGate gate;
+  tree.internal_pager()->SetTestHook(
+      [&](const char* op, PageId page) { gate.OnHook(op, page); });
+  gate.Arm(2);  // freeze at the entry of put(A), after put(B) landed
+
+  std::thread splitter([&]() { ASSERT_TRUE(tree.Insert(17, 18).ok()); });
+  gate.AwaitPaused();
+
+  std::atomic<bool> appended{false};
+  std::thread appender([&]() {
+    ASSERT_TRUE(tree.Insert(18, 19).ok());
+    appended.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (appended.load(std::memory_order_acquire)) {
+    // If the insert did complete, linearizability demands visibility.
+    ASSERT_TRUE(tree.Search(18).ok())
+        << "completed Insert(18) invisible to Search mid-split";
+  }
+  EXPECT_FALSE(appended.load(std::memory_order_acquire))
+      << "append completed inside the split's publication window";
+
+  gate.Release();
+  splitter.join();
+  appender.join();
+  tree.internal_pager()->SetTestHook(nullptr);
+
+  for (Key k = 1; k <= 18; ++k) {
+    Result<Value> v = tree.Search(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, k + 1) << k;
+  }
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// The ABA variant of the same window: the split's Allocate returns a
+// RETIRED page id that the rightmost hint still names (batched inserts
+// never refresh the hint, so it survives stale across the refill). An
+// appender chasing that stale hint must not be able to validate the
+// reused page's fresh not-yet-linked image. Also covers the batched
+// watermark fix: MultiInsert raises max_key_hint_, so the follow-up
+// single inserts arm the fast path from an accurate watermark.
+TEST(AppendLeafTest, StaleHintOnReusedSplitPageCannotSwallowAppend) {
+  SagivTree tree(SmallNodes(true));  // capacity 8
+  for (Key k = 1; k <= 20; ++k) ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+  // Leaves: {1..8}, {9..16}, C{17..20}; the hint names C. Empty C so the
+  // compressor merges it into its left neighbor, marks C deleted, and
+  // retires its page — and ONLY its page: the root keeps two children,
+  // so no root collapse retires anything else, and the next Allocate
+  // must hand back exactly the page the hint still names.
+  for (Key k = 13; k <= 20; ++k) ASSERT_TRUE(tree.Delete(k).ok());
+  ScanCompressor compressor(&tree);
+  compressor.CompressLevel(0);
+  ASSERT_GT(tree.stats()->Get(StatId::kMerges), 0u);
+  ASSERT_EQ(tree.internal_pager()->retired_pages(), 1u);
+
+  // Refill the surviving rightmost leaf {9..12} to capacity through the
+  // BATCHED path, which commits without touching rightmost_hint_: the
+  // hint keeps naming the retired page while the tree max (and, post-
+  // fix, the watermark) rises. Keys must clear the watermark left by
+  // the deleted 13..20 (deletes never lower it), hence 21..24.
+  const Key keys[] = {21, 22, 23, 24};
+  const Value values[] = {22, 23, 24, 25};
+  Status out[4];
+  tree.MultiInsert(keys, values, 4, out);
+  for (const Status& s : out) ASSERT_TRUE(s.ok());
+
+  // The next insert splits L; its Allocate reuses a retired page. The
+  // splitter must be another BATCHED insert: a single Insert's own
+  // descent would refresh the hint to L before committing, hiding the
+  // stale-hint hazard this test exists to pin down. MultiInsert's
+  // commits never touch the hint, so it still names the retired page —
+  // now reborn as the split's unreachable right node B — while the
+  // splitter sits frozen between put(B) and put(A).
+  const size_t fresh_before = tree.internal_pager()->allocated_pages();
+  PutWindowGate gate;
+  tree.internal_pager()->SetTestHook(
+      [&](const char* op, PageId page) { gate.OnHook(op, page); });
+  gate.Arm(2);
+
+  std::thread splitter([&]() {
+    const Key skeys[] = {25, 26};
+    const Value svalues[] = {26, 27};
+    Status sout[2];
+    tree.MultiInsert(skeys, svalues, 2, sout);
+    ASSERT_TRUE(sout[0].ok() && sout[1].ok());
+  });
+  gate.AwaitPaused();
+  EXPECT_EQ(tree.internal_pager()->allocated_pages(), fresh_before)
+      << "expected the split to reuse a retired page, not grow the arena";
+
+  std::atomic<bool> appended{false};
+  std::thread appender([&]() {
+    ASSERT_TRUE(tree.Insert(27, 28).ok());
+    appended.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (appended.load(std::memory_order_acquire)) {
+    ASSERT_TRUE(tree.Search(27).ok())
+        << "completed Insert(27) invisible to Search mid-split";
+  }
+  EXPECT_FALSE(appended.load(std::memory_order_acquire))
+      << "append landed on a reused, not-yet-linked split page";
+
+  gate.Release();
+  splitter.join();
+  appender.join();
+  tree.internal_pager()->SetTestHook(nullptr);
+
+  for (Key k : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                21, 22, 23, 24, 25, 26, 27}) {
+    Result<Value> v = tree.Search(static_cast<Key>(k));
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, static_cast<Value>(k) + 1) << k;
+  }
+  for (Key k = 13; k <= 20; ++k) {
+    EXPECT_TRUE(tree.Search(k).status().IsNotFound()) << k;
+  }
   Status s = TreeChecker(&tree).CheckStructure();
   EXPECT_TRUE(s.ok()) << s.ToString();
 }

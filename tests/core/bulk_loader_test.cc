@@ -44,6 +44,34 @@ TEST(BulkLoadTest, SingleLeafLoad) {
   EXPECT_EQ(*tree.Search(3), 10u);
 }
 
+// A bulk load must arm the append fast-path hints for the loaded state:
+// the watermark rises to the loaded max (inserts below it take the plain
+// descent with no fast-path attempt) and the rightmost hint names the
+// loaded frontier (the first max-extending insert hits directly).
+TEST(BulkLoadTest, LoadArmsAppendFastPathHints) {
+  SagivTree tree(K(4));
+  // Even keys 2..200: leaves gaps to insert into below the loaded max.
+  ASSERT_TRUE(BulkLoad(&tree, MakePairs(100, 2)).ok());
+
+  // 99 < loaded max 200: not max-extending, so no fast-path attempt (a
+  // stale-low watermark would record a miss against the retired old
+  // root here).
+  ASSERT_TRUE(tree.Insert(99, 100).ok());
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastMisses), 0u);
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastHits), 0u);
+
+  // 300 > loaded max: the hint points straight at the loaded rightmost
+  // leaf, so the very first max-extending insert is a fast-path hit.
+  ASSERT_TRUE(tree.Insert(300, 301).ok());
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastHits), 1u);
+  EXPECT_EQ(tree.stats()->Get(StatId::kAppendFastMisses), 0u);
+
+  EXPECT_EQ(*tree.Search(99), 100u);
+  EXPECT_EQ(*tree.Search(300), 301u);
+  Status s = TreeChecker(&tree).CheckStructure();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
 TEST(BulkLoadTest, LargeLoadMatchesInsertion) {
   const auto pairs = MakePairs(50'000, 3);
   SagivTree loaded(K(16));
