@@ -1,110 +1,119 @@
 // Copyright 2026 The obtree Authors.
 //
-// Example: online backup and bulk restore.
+// Example: crash-safe durability with file-backed checkpoints.
 //
-// A live index keeps serving concurrent traffic while we take a logical
-// backup through a cursor (no locks held: the B-link protocol's lock-free
-// readers make the backup non-intrusive). The backup is then restored via
-// the O(n) bottom-up bulk loader at a chosen fill factor, and verified
-// against the source.
+// A persistent index checkpoints under live concurrent traffic — the
+// checkpoint barrier drains in-flight writers but never blocks readers —
+// then the process "crashes" (the map is destroyed with post-checkpoint
+// writes unsaved) and the index is recovered from disk. Recovery is
+// all-or-nothing at checkpoint granularity: everything acknowledged
+// before Checkpoint() returned is back, everything after is gone.
 //
-//   $ ./backup_restore
+//   $ ./example_backup_restore [storage-dir]
 
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
-#include <sstream>
+#include <filesystem>
 #include <thread>
 
 #include "obtree/api/concurrent_map.h"
-#include "obtree/core/bulk_loader.h"
-#include "obtree/core/tree_checker.h"
 #include "obtree/util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace obtree;
+
+  const std::string dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() /
+                  "obtree_backup_restore_example").string();
+  std::filesystem::remove_all(dir);
 
   MapOptions options;
   options.tree.min_entries = 32;
-  options.compression = CompressionMode::kQueueWorkers;
-  ConcurrentMap live(options);
+  options.tree.storage_dir = dir;        // selects the FileStore backend
+  options.tree.buffer_pool_pages = 256;  // cap RAM: cold pages fault in
+  options.compression = CompressionMode::kNone;
 
-  // Seed the live index: "document id -> storage handle". Stable ids are
-  // even; odd ids churn during the backup.
-  constexpr Key kStableSpan = 200'000;
-  for (Key k = 2; k <= kStableSpan; k += 2) {
-    (void)live.Insert(k, k * 5);
-  }
-  std::printf("live index: %" PRIu64 " stable entries, height %u\n",
-              live.Size(), live.Height());
+  constexpr Key kStableSpan = 50'000;
+  {
+    ConcurrentMap live(options);
 
-  // Churn traffic runs during the whole backup.
-  std::atomic<bool> stop{false};
-  std::thread churner([&]() {
-    Random rng(99);
-    while (!stop.load(std::memory_order_acquire)) {
-      const Key k = rng.UniformRange(0, kStableSpan / 2 - 1) * 2 + 1;  // odd
-      if (rng.Bernoulli(0.5)) {
-        (void)live.Insert(k, k);
-      } else {
-        (void)live.Erase(k);
-      }
+    // Seed the index: "document id -> storage handle". Stable ids are
+    // even; odd ids churn while the checkpoint runs.
+    for (Key k = 2; k <= kStableSpan; k += 2) {
+      (void)live.Insert(k, k * 5);
     }
-  });
+    std::printf("live index: %" PRIu64 " stable entries, height %u\n",
+                live.Size(), live.Height());
 
-  // Online logical backup of the STABLE range via a cursor. We filter to
-  // even ids so the verification below is exact despite the churn.
-  std::vector<std::pair<Key, Value>> backup;
-  ConcurrentMap::Cursor cursor(&live);
-  Key key;
-  Value value;
-  while (cursor.Next(&key, &value)) {
-    if (key % 2 == 0) backup.emplace_back(key, value);
-  }
-  stop.store(true);
-  churner.join();
-  std::printf("backup captured %zu stable entries while churn ran\n",
-              backup.size());
+    // Churn traffic keeps running through the whole checkpoint.
+    std::atomic<bool> stop{false};
+    std::thread churner([&]() {
+      Random rng(99);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key k = rng.UniformRange(0, kStableSpan / 2 - 1) * 2 + 1;
+        if (rng.Bernoulli(0.5)) {
+          (void)live.Upsert(k, k);
+        } else {
+          (void)live.Erase(k);
+        }
+      }
+    });
 
-  // Restore into a fresh tree via the bulk loader, tightly packed.
-  SagivTree restored(options.tree);
-  Status s = BulkLoad(&restored, backup, /*fill=*/0.95);
-  if (!s.ok()) {
-    std::printf("bulk restore failed: %s\n", s.ToString().c_str());
+    Status s = live.Checkpoint();
+    stop.store(true);
+    churner.join();
+    if (!s.ok()) {
+      std::printf("checkpoint failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint epoch %" PRIu64 " committed under live churn\n",
+                live.checkpoint_epoch());
+
+    // Post-checkpoint writes that the "crash" below throws away.
+    for (Key k = 1; k <= 1000; ++k) {
+      (void)live.Upsert(kStableSpan + k, 0xdead);
+    }
+  }  // the map dies here without another checkpoint: the "power cut"
+
+  // Recover from the manifest. Refuses (NotFound) if the directory holds
+  // no committed checkpoint.
+  Result<std::unique_ptr<ConcurrentMap>> recovered =
+      ConcurrentMap::Recover(options);
+  if (!recovered.ok()) {
+    std::printf("recover failed: %s\n", recovered.status().ToString().c_str());
     return 1;
   }
-  const TreeShape shape = TreeChecker(&restored).ComputeShape();
-  std::printf("restored tree: %" PRIu64 " keys, height %u, %" PRIu64
-              " nodes, leaf fill %.2f\n",
-              restored.Size(), shape.height, shape.num_nodes,
-              shape.avg_leaf_fill);
+  ConcurrentMap& map = **recovered;
+  std::printf("recovered epoch %" PRIu64 ": %" PRIu64 " entries\n",
+              map.checkpoint_epoch(), map.Size());
 
-  // Verify: every stable entry round-tripped.
-  for (const auto& [k, v] : backup) {
-    Result<Value> r = restored.Search(k);
-    if (!r.ok() || *r != v) {
-      std::printf("MISMATCH at key %" PRIu64 "\n", k);
+  // Every stable entry acknowledged before the checkpoint must be back.
+  for (Key k = 2; k <= kStableSpan; k += 2) {
+    Result<Value> r = map.Get(k);
+    if (!r.ok() || *r != k * 5) {
+      std::printf("MISSING stable key %" PRIu64 " after recovery\n", k);
       return 1;
     }
   }
-  Status valid = TreeChecker(&restored).CheckStructure();
-  std::printf("restored structure valid: %s\n", valid.ToString().c_str());
+  // Every post-checkpoint write must be gone.
+  if (map.Get(kStableSpan + 1).ok()) {
+    std::printf("unsaved post-checkpoint write survived the crash\n");
+    return 1;
+  }
+  Status valid = map.ValidateStructure();
+  std::printf("recovered structure valid: %s\n", valid.ToString().c_str());
 
-  // Stream round trip (DumpTree/LoadTree) of the restored tree.
-  std::ostringstream blob;
-  s = DumpTree(restored, &blob);
-  if (!s.ok()) {
-    std::printf("dump failed: %s\n", s.ToString().c_str());
-    return 1;
+  // The recovered map is live: keep writing, checkpoint again, and the
+  // epoch advances.
+  for (Key k = 1; k <= kStableSpan; k += 2) {
+    (void)map.Upsert(k, k * 7);
   }
-  std::istringstream in(blob.str());
-  auto reloaded = LoadTree(&in);
-  if (!reloaded.ok()) {
-    std::printf("load failed: %s\n", reloaded.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("stream round trip: %zu bytes -> %" PRIu64 " keys, valid=%s\n",
-              blob.str().size(), (*reloaded)->Size(),
-              TreeChecker(reloaded->get()).CheckStructure().ToString().c_str());
-  return valid.ok() ? 0 : 1;
+  Status s2 = map.Checkpoint();
+  std::printf("re-checkpoint: %s (epoch %" PRIu64 ")\n",
+              s2.ToString().c_str(), map.checkpoint_epoch());
+
+  std::filesystem::remove_all(dir);
+  return (valid.ok() && s2.ok()) ? 0 : 1;
 }

@@ -162,6 +162,22 @@ std::vector<std::pair<Key, Value>> ConcurrentMap::ScanLimit(
   return out;
 }
 
+Status ConcurrentMap::Checkpoint() { return tree_->Checkpoint(); }
+
+Result<std::unique_ptr<ConcurrentMap>> ConcurrentMap::Recover(
+    const MapOptions& options, BackgroundPool* pool) {
+  if (options.tree.storage_dir.empty()) {
+    return Status::InvalidArgument("Recover requires a storage_dir");
+  }
+  auto map = std::make_unique<ConcurrentMap>(options, pool);
+  if (!map->init_status().ok()) return map->init_status();
+  if (!map->recovered_from_checkpoint()) {
+    return Status::NotFound("no committed checkpoint in " +
+                            options.tree.storage_dir);
+  }
+  return map;
+}
+
 void ConcurrentMap::CompressNow() {
   switch (options_.compression) {
     case CompressionMode::kNone:

@@ -145,6 +145,35 @@ class ConcurrentMap {
   /// not concurrent operations). Useful before measuring space.
   void CompressNow();
 
+  // --- persistence (options.tree.storage_dir) -----------------------------
+
+  /// Write a crash-consistent checkpoint to the map's FileStore
+  /// (SagivTree::Checkpoint): drains in-flight mutators — readers keep
+  /// running — flushes dirty pages, and atomically commits the manifest.
+  /// On OK the checkpoint is durable and contains every operation that
+  /// returned before this call started. FailedPrecondition when the map
+  /// has no storage_dir. Safe to call concurrently with operations and
+  /// with background compression (compressors mutate under paper locks,
+  /// so the barrier drains them like any writer).
+  Status Checkpoint();
+
+  /// True when construction found and adopted a committed checkpoint in
+  /// options.tree.storage_dir (i.e. this map recovered existing data).
+  bool recovered_from_checkpoint() const {
+    return tree_->recovered_from_checkpoint();
+  }
+
+  /// Epoch of the newest committed checkpoint (0 = none / not persistent).
+  uint64_t checkpoint_epoch() const { return tree_->checkpoint_epoch(); }
+
+  /// Open a map that MUST recover from an existing checkpoint: errors
+  /// with NotFound when options.tree.storage_dir holds no committed
+  /// checkpoint (and with the construction failure when it is
+  /// unreadable). Sugar over the constructor for restore tools that must
+  /// not silently start empty (see examples/backup_restore.cpp).
+  static Result<std::unique_ptr<ConcurrentMap>> Recover(
+      const MapOptions& options, BackgroundPool* pool = nullptr);
+
   /// Snapshot of operation counters.
   StatsSnapshot Stats() const { return tree_->stats()->Snapshot(); }
 

@@ -75,7 +75,36 @@ std::unique_ptr<ConcurrentMap> ShardedMap::MakeTree() {
   shard_options.tree = options_.tree;
   shard_options.compression = options_.compression;
   shard_options.compression_threads = options_.compression_threads_per_shard;
+  if (!shard_options.tree.storage_dir.empty()) {
+    // Each shard persists into its own subdirectory, numbered by creation
+    // order — stable across restarts because a persistent topology is
+    // static (ShardOptions::Validate rejects rebalancing + storage_dir,
+    // and only the rebalancer creates trees after construction). Only
+    // construction reaches this branch, and it holds trees_mu_.
+    shard_options.tree.storage_dir +=
+        "/shard-" + std::to_string(trees_.size());
+  }
   return std::make_unique<ConcurrentMap>(shard_options, pool_.get());
+}
+
+Status ShardedMap::Checkpoint() {
+  // The topology is static with persistence on, so the table snapshot is
+  // the full shard set. Shards checkpoint independently (each cuts its
+  // own barrier); the durability contract is per-key, matching routing.
+  const RoutingTable* t = table();
+  for (size_t i = 0; i < t->entries.size(); ++i) {
+    Status s = t->entries[i].tree->Checkpoint();
+    if (!s.ok()) return s;  // code preserved so callers can dispatch on it
+  }
+  return Status::OK();
+}
+
+bool ShardedMap::recovered_from_checkpoint() const {
+  const RoutingTable* t = table();
+  for (const RouteEntry& e : t->entries) {
+    if (e.tree->recovered_from_checkpoint()) return true;
+  }
+  return false;
 }
 
 size_t ShardedMap::RouteIndex(const RoutingTable* t, Key key) {

@@ -144,6 +144,23 @@ class ShardedMap : private ShardRebalancer::Host {
   /// Run every shard's compression to a fixpoint (blocks the caller).
   void CompressNow();
 
+  // --- persistence (options.tree.storage_dir) -----------------------------
+  //
+  // With a storage_dir, shard i persists into <storage_dir>/shard-<i>.
+  // Persistence requires a STATIC topology: ShardOptions::Validate
+  // rejects rebalance.enabled combined with storage_dir (there is no
+  // cross-shard checkpoint barrier, so a migration concurrent with a
+  // checkpoint could be captured on neither side).
+
+  /// Checkpoint every shard in turn (ConcurrentMap::Checkpoint per
+  /// shard). Returns the first failure. Each shard's checkpoint is
+  /// individually atomic; the map-level guarantee is per-key — every
+  /// operation that returned before this call started is captured.
+  Status Checkpoint();
+
+  /// True when any shard recovered from a committed checkpoint.
+  bool recovered_from_checkpoint() const;
+
   /// Operation counters summed across shards; max_locks_held is the max.
   /// Sums over every tree the map has EVER created — including donors
   /// retired by a merge — so all counters stay monotone across

@@ -6,6 +6,7 @@
 #define OBTREE_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "obtree/node/node.h"
 #include "obtree/util/status.h"
@@ -144,6 +145,25 @@ struct TreeOptions {
   /// arguments target (see PageManager::set_simulated_io_ns).
   uint64_t simulated_io_ns = 0;
 
+  /// Persistence: when non-empty, the tree's pages are backed by a
+  /// FileStore rooted at this directory (created if absent) instead of
+  /// the default in-memory MemStore. Construction recovers the newest
+  /// committed checkpoint if the directory holds one; Checkpoint()
+  /// becomes available (see docs/PERSISTENCE.md). Empty (the default)
+  /// keeps the tree purely in memory, bit-for-bit the pre-persistence
+  /// behavior.
+  std::string storage_dir;
+
+  /// Buffer-pool budget for a persistent tree: the number of page images
+  /// kept resident in RAM. Above the budget, a clock sweep evicts
+  /// resident pages (staging dirty ones to the store) and later accesses
+  /// fault them back in (StatId::kPagesEvicted / kStoreReads). 0 = every
+  /// page stays resident (no eviction). Ignored without storage_dir.
+  /// When non-zero, values below 64 are rejected: the working set of one
+  /// descent (root-to-leaf path + split spine) must fit with slack or
+  /// the pool thrashes pathologically.
+  uint32_t buffer_pool_pages = 0;
+
   /// Largest admissible k: 2k+1 entries must fit a page mid-split.
   static constexpr uint32_t kMaxMinEntries = (Node::kMaxEntries - 1) / 2;
 
@@ -169,6 +189,10 @@ struct TreeOptions {
     }
     if (batch_max_inflight < 1) {
       return Status::InvalidArgument("batch_max_inflight must be positive");
+    }
+    if (buffer_pool_pages != 0 && buffer_pool_pages < 64) {
+      return Status::InvalidArgument(
+          "buffer_pool_pages must be 0 (unbounded) or >= 64");
     }
     return Status::OK();
   }
@@ -355,6 +379,14 @@ struct ShardOptions {
       if (num_shards > rebalance.max_shards) {
         return Status::InvalidArgument(
             "num_shards exceeds rebalance.max_shards");
+      }
+      if (!tree.storage_dir.empty()) {
+        // A rebalance migration moves keys between shard trees with no
+        // cross-shard checkpoint barrier, so per-shard manifests could
+        // commit a key in two shards (or neither). Until checkpoints
+        // span shards atomically, the combination is rejected.
+        return Status::InvalidArgument(
+            "rebalancing cannot be combined with storage_dir persistence");
       }
     }
     return tree.Validate();

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obtree/core/compression_queue.h"
+#include "obtree/storage/file_store.h"
 
 namespace obtree {
 
@@ -165,10 +166,43 @@ SagivTree::SagivTree(const TreeOptions& options)
       max_key_hint_(kMinusInfinity),
       frontier_seq_(0) {
   if (!init_status_.ok()) options_ = TreeOptions();
-  pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get());
+  if (!options_.storage_dir.empty()) {
+    Result<std::unique_ptr<FileStore>> store =
+        FileStore::Open(options_.storage_dir);
+    if (store.ok()) {
+      file_store_ = std::move(*store);
+    } else {
+      // Record the failure and degrade to an in-memory tree; callers that
+      // need durability check init_status() (ConcurrentMap surfaces it).
+      init_status_ = store.status();
+    }
+  }
+  pager_ = std::make_unique<PageManager>(epoch_.get(), stats_.get(),
+                                         file_store_.get(),
+                                         options_.buffer_pool_pages);
   pager_->set_simulated_io_ns(options_.simulated_io_ns);
   pager_->set_lock_spin_budget(options_.lock_spin_budget);
   pager_->set_lock_backoff_max(options_.lock_backoff_max);
+
+  if (file_store_ != nullptr && file_store_->has_checkpoint()) {
+    // Adopt the committed checkpoint instead of building a fresh root.
+    const StoreMeta& meta = file_store_->recovered_meta();
+    pager_->RestoreFromMeta(meta);
+    PrimeBlockData pb;
+    pb.num_levels = static_cast<uint32_t>(meta.leftmost.size());
+    for (size_t i = 0; i < meta.leftmost.size() && i < kMaxLevels; ++i) {
+      pb.leftmost[i] = meta.leftmost[i];
+    }
+    prime_.Write(pb);
+    internal_NoteBulkLoad(meta.max_key, meta.rightmost_leaf);
+    // The manifest's tree_size can be off by operations whose size bump
+    // had not landed when the checkpoint barrier cut; the leaf chain is
+    // the authority.
+    RecoverSizeFromLeaves();
+    recovered_ = true;
+    stats_->Add(StatId::kRecoveries);
+    return;
+  }
 
   // An empty tree is a single root leaf covering (-inf, +inf].
   Result<PageId> root = pager_->Allocate();
@@ -185,6 +219,45 @@ SagivTree::SagivTree(const TreeOptions& options)
   pb.leftmost[0] = *root;
   prime_.Write(pb);
   rightmost_hint_.store(*root, std::memory_order_release);
+}
+
+void SagivTree::RecoverSizeFromLeaves() {
+  // Single-threaded (construction); suppress fault evaluation so an armed
+  // injector cannot fail the recovery walk.
+  FaultInjector::ScopedExemption exempt;
+  const PrimeBlockData pb = prime_.Read();
+  if (pb.num_levels == 0) return;
+  uint64_t keys = 0;
+  Page page;
+  PageId id = pb.leftmost[0];
+  PageId rightmost = id;
+  // The frontier bounds the walk: a manifest naming more pages than the
+  // arena holds would already have failed RestoreFromMeta's chunk setup,
+  // and a link cycle (corruption) must not hang construction.
+  const size_t max_steps = pager_->allocated_pages() + 1;
+  for (size_t steps = 0; id != kInvalidPageId && steps < max_steps; ++steps) {
+    if (!pager_->Get(id, &page).ok()) break;
+    const Node* node = page.As<Node>();
+    if (!node->is_deleted()) keys += node->count;
+    rightmost = id;
+    id = node->link;
+  }
+  size_.store(keys, std::memory_order_relaxed);
+  rightmost_hint_.store(rightmost, std::memory_order_release);
+}
+
+Status SagivTree::Checkpoint() {
+  return pager_->Checkpoint([this](StoreMeta* meta) {
+    const PrimeBlockData pb = prime_.Read();
+    meta->leftmost.assign(pb.leftmost, pb.leftmost + pb.num_levels);
+    meta->tree_size = size_.load(std::memory_order_relaxed);
+    meta->max_key = max_key_hint_.load(std::memory_order_relaxed);
+    meta->rightmost_leaf = rightmost_hint_.load(std::memory_order_relaxed);
+  });
+}
+
+uint64_t SagivTree::checkpoint_epoch() const {
+  return file_store_ != nullptr ? file_store_->checkpoint_epoch() : 0;
 }
 
 SagivTree::~SagivTree() = default;
@@ -1216,6 +1289,9 @@ Status SagivTree::Insert(Key key, Value value) {
   }
   stats_->Add(StatId::kInserts);
   EpochManager::Guard guard(epoch_.get());
+  // One checkpoint-gate hold for the WHOLE insert (descent, splits,
+  // parent ascent) so a checkpoint can never capture a half-split.
+  PageManager::MutatorScope mutator_scope(pager_.get());
 
   // Rightmost fast path: a key beyond every key ever inserted can only
   // belong at the end of the rightmost leaf — try to append there without
@@ -1257,6 +1333,7 @@ Status SagivTree::Upsert(Key key, Value value) {
   // counts as one logical insert either way.
   stats_->Add(StatId::kInserts);
   EpochManager::Guard guard(epoch_.get());
+  PageManager::MutatorScope mutator_scope(pager_.get());
 
   // A key beyond the tree's max is necessarily absent, so the upsert is a
   // plain insert and the rightmost fast path applies unchanged.
@@ -1415,6 +1492,7 @@ Status SagivTree::Delete(Key key) {
   }
   stats_->Add(StatId::kDeletes);
   EpochManager::Guard guard(epoch_.get());
+  PageManager::MutatorScope mutator_scope(pager_.get());
 
   CompressionQueue* queue = queue_.load(std::memory_order_acquire);
   const bool want_stack =
@@ -1770,7 +1848,10 @@ void SagivTree::MultiMutate(const Key* keys, const Value* values, size_t n,
                      /*probe_values=*/false, &bs);
     // Phase 2: run each op's locked commit serially from its descent's
     // leaf — the locking protocol (one lock per process at a time) is
-    // exactly the single-op one.
+    // exactly the single-op one. The checkpoint gate is held per WINDOW
+    // (not per batch) so a pending checkpoint waits at most one window
+    // of commits, never the whole batch.
+    PageManager::MutatorScope mutator_scope(pager_.get());
     Key window_max = 0;  // largest committed insert/upsert key this window
     for (size_t j = 0; j < w; ++j) {
       BatchCont& op = conts[j];

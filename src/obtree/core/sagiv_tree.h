@@ -50,6 +50,7 @@
 namespace obtree {
 
 class CompressionQueue;
+class FileStore;
 
 /// Concurrent B-link tree with overtaking (Sagiv, 1986).
 class SagivTree {
@@ -133,6 +134,26 @@ class SagivTree {
   const TreeOptions& options() const { return options_; }
   StatsCollector* stats() const { return stats_.get(); }
   EpochManager* epoch() const { return epoch_.get(); }
+
+  // --- persistence (options().storage_dir) --------------------------------
+
+  /// Write a crash-consistent checkpoint of the tree to its FileStore:
+  /// drains in-flight mutators (readers keep running), flushes every
+  /// dirty page, and atomically commits the manifest. On OK the
+  /// checkpoint is durable and contains every operation that returned
+  /// before this call started (and possibly some concurrent ones).
+  /// FailedPrecondition when the tree has no storage_dir.
+  Status Checkpoint();
+
+  /// True when construction found and adopted a committed checkpoint in
+  /// options().storage_dir.
+  bool recovered_from_checkpoint() const { return recovered_; }
+
+  /// Epoch of the newest committed checkpoint (0 = none / not persistent).
+  uint64_t checkpoint_epoch() const;
+
+  /// The persistent backend, or nullptr for an in-memory tree.
+  FileStore* file_store() const { return file_store_.get(); }
 
   /// Attach the compression queue that deletions feed when
   /// options().enqueue_underfull_on_delete is set. The queue must outlive
@@ -410,12 +431,19 @@ class SagivTree {
   // see the definition for the bias rule.
   uint32_t TailSplitKeep(const Node* node, Key key) const;
 
+  // Recovery helper: rebuild size_ (and sanity-check reachability) by
+  // walking the level-0 link chain of a freshly recovered tree. Runs
+  // before any concurrency exists; fault evaluation is suppressed.
+  void RecoverSizeFromLeaves();
+
   TreeOptions options_;
   Status init_status_;
 
   std::unique_ptr<StatsCollector> stats_;
   std::unique_ptr<EpochManager> epoch_;
+  std::unique_ptr<FileStore> file_store_;  // before pager_: outlives it
   std::unique_ptr<PageManager> pager_;
+  bool recovered_ = false;
   PrimeBlock prime_;
 
   std::atomic<CompressionQueue*> queue_;

@@ -1,0 +1,427 @@
+// Copyright 2026 The obtree Authors.
+
+#include "obtree/storage/file_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "obtree/util/fault_injector.h"
+
+namespace obtree {
+
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x464d454552544f42ULL;  // "OBTREEMF"
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kDataFileName[] = "pages.dat";
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestTmpName[] = "MANIFEST.tmp";
+
+// Bytes of the new image a "store-write" kCrash persists before dying:
+// one classic disk sector, so recovery faces a genuinely torn page.
+constexpr size_t kTornWriteBytes = 512;
+
+off_t SlotOffset(PageId id, uint8_t slot) {
+  return static_cast<off_t>((static_cast<uint64_t>(id) * 2 + slot) *
+                            kPageSize);
+}
+
+// Full-length pwrite (retrying short writes / EINTR).
+Status PwriteAll(int fd, const void* buf, size_t n, off_t off) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, p, n, off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("pwrite: ") +
+                                 std::strerror(errno));
+    }
+    p += w;
+    off += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// Full-length pread; *short_read reports bytes missing off the end (a
+// slot past EOF reads as zeros for never-written pages).
+Status PreadAll(int fd, void* buf, size_t n, off_t off, size_t* got) {
+  char* p = static_cast<char*>(buf);
+  *got = 0;
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("pread: ") +
+                                 std::strerror(errno));
+    }
+    if (r == 0) break;  // EOF
+    p += r;
+    off += r;
+    n -= static_cast<size_t>(r);
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// --- little-endian buffer serialization -----------------------------------
+
+void Put32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Put64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Bounds-checked little-endian reads; ok() goes false on overrun and
+// stays false (so a parse can run straight through and check once).
+class Parser {
+ public:
+  Parser(const char* data, size_t n) : data_(data), n_(n) {}
+
+  uint32_t U32() { return static_cast<uint32_t>(Bytes(4)); }
+  uint64_t U64() { return Bytes(8); }
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  uint64_t Bytes(int width) {
+    if (!ok_ || n_ - pos_ < static_cast<size_t>(width)) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += static_cast<size_t>(width);
+    return v;
+  }
+
+  const char* data_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+uint32_t FileStore::Crc32(const void* data, size_t n) {
+  // IEEE CRC-32, bitwise-table hybrid; table built once.
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+FileStore::FileStore(std::string dir, int data_fd, int dir_fd)
+    : dir_(std::move(dir)), data_fd_(data_fd), dir_fd_(dir_fd) {}
+
+FileStore::~FileStore() {
+  ::close(data_fd_);
+  ::close(dir_fd_);
+}
+
+Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("FileStore directory must be non-empty");
+  }
+  // mkdir -p: create every missing ancestor so callers can point a fresh
+  // store at a nested path (ShardedMap derives "<dir>/shard-<i>" before
+  // <dir> exists).
+  for (size_t pos = 1; pos <= dir.size(); ++pos) {
+    if (pos < dir.size() && dir[pos] != '/') continue;
+    const std::string prefix = dir.substr(0, pos);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Unavailable(std::string("mkdir ") + prefix + ": " +
+                                 std::strerror(errno));
+    }
+  }
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::Unavailable(std::string("open ") + dir + ": " +
+                               std::strerror(errno));
+  }
+  const std::string data_path = dir + "/" + kDataFileName;
+  const int data_fd = ::open(data_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (data_fd < 0) {
+    ::close(dir_fd);
+    return Status::Unavailable(std::string("open ") + data_path + ": " +
+                               std::strerror(errno));
+  }
+  // A leftover tmp manifest means a crash hit before the rename: the
+  // committed manifest (if any) is the truth, the tmp is garbage.
+  ::unlink((dir + "/" + kManifestTmpName).c_str());
+
+  std::unique_ptr<FileStore> store(new FileStore(dir, data_fd, dir_fd));
+  Status s = store->LoadManifest();
+  if (!s.ok()) return s;
+  return store;
+}
+
+Status FileStore::LoadManifest() {
+  const std::string path = dir_ + "/" + kManifestName;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();  // fresh store
+    return Status::Unavailable(std::string("open ") + path + ": " +
+                               std::strerror(errno));
+  }
+  std::string blob;
+  {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::Unavailable(std::string("read ") + path + ": " +
+                                   std::strerror(errno));
+      }
+      if (r == 0) break;
+      blob.append(buf, static_cast<size_t>(r));
+    }
+  }
+  ::close(fd);
+
+  if (blob.size() < 4) return Status::DataLoss("manifest truncated");
+  Parser tail(blob.data() + blob.size() - 4, 4);
+  const uint32_t trailer = tail.U32();
+  if (Crc32(blob.data(), blob.size() - 4) != trailer) {
+    return Status::DataLoss("manifest checksum mismatch");
+  }
+
+  Parser p(blob.data(), blob.size() - 4);
+  if (p.U64() != kManifestMagic) return Status::DataLoss("manifest magic");
+  if (p.U32() != kManifestVersion) {
+    return Status::DataLoss("manifest version");
+  }
+  StoreMeta meta;
+  meta.checkpoint_epoch = p.U64();
+  meta.next_fresh = p.U32();
+  meta.tree_size = p.U64();
+  meta.max_key = p.U64();
+  meta.rightmost_leaf = p.U32();
+  const uint32_t num_levels = p.U32();
+  if (!p.ok() || num_levels > 64) return Status::DataLoss("manifest levels");
+  meta.leftmost.resize(num_levels);
+  for (uint32_t i = 0; i < num_levels; ++i) meta.leftmost[i] = p.U32();
+  const uint32_t free_count = p.U32();
+  if (!p.ok() || free_count > meta.next_fresh) {
+    return Status::DataLoss("manifest free list");
+  }
+  meta.free_pages.resize(free_count);
+  for (uint32_t i = 0; i < free_count; ++i) meta.free_pages[i] = p.U32();
+  const uint32_t page_count = p.U32();
+  if (!p.ok() || page_count > meta.next_fresh) {
+    return Status::DataLoss("manifest page table");
+  }
+  std::unordered_map<PageId, SlotInfo> table;
+  table.reserve(page_count);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    const PageId id = p.U32();
+    const uint32_t slot = p.U32();
+    const uint32_t crc = p.U32();
+    if (slot > 1) return Status::DataLoss("manifest slot bit");
+    table[id] = SlotInfo{static_cast<uint8_t>(slot), crc};
+  }
+  if (!p.ok()) return Status::DataLoss("manifest truncated");
+
+  std::lock_guard<std::mutex> lk(mu_);
+  committed_ = std::move(table);
+  committed_epoch_ = meta.checkpoint_epoch;
+  recovered_meta_ = std::move(meta);
+  has_checkpoint_ = true;
+  return Status::OK();
+}
+
+Status FileStore::ReadPage(PageId id, void* buf) {
+  SlotInfo info{0, 0};
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto pend = pending_.find(id);
+    if (pend != pending_.end()) {
+      info = pend->second;
+      known = true;
+    } else {
+      auto com = committed_.find(id);
+      if (com != committed_.end()) {
+        info = com->second;
+        known = true;
+      }
+    }
+  }
+  if (!known) {
+    // Never written: an inert all-zero image (decodes as an empty node).
+    std::memset(buf, 0, kPageSize);
+    return Status::OK();
+  }
+  size_t got = 0;
+  Status s = PreadAll(data_fd_, buf, kPageSize, SlotOffset(id, info.slot),
+                      &got);
+  if (!s.ok()) return s;
+  if (got < kPageSize) {
+    return Status::DataLoss("page image truncated");
+  }
+  if (Crc32(buf, kPageSize) != info.crc) {
+    return Status::DataLoss("page checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status FileStore::WritePage(PageId id, const void* buf) {
+  uint8_t slot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto pend = pending_.find(id);
+    if (pend != pending_.end()) {
+      slot = pend->second.slot;  // re-stage into the same shadow slot
+    } else {
+      auto com = committed_.find(id);
+      slot = com == committed_.end()
+                 ? 0
+                 : static_cast<uint8_t>(1 - com->second.slot);
+    }
+  }
+  const FaultOutcome f = FaultInjector::TrapsArmed()
+                             ? FaultInjector::Instance().Evaluate("store-write")
+                             : FaultOutcome();
+  if (f.crash) {
+    // Power cut mid-write: one sector of the new image lands, then death.
+    // The torn bytes live in an UNCOMMITTED slot, which is the property
+    // the crash harness exists to verify.
+    (void)PwriteAll(data_fd_, buf, kTornWriteBytes, SlotOffset(id, slot));
+    std::_Exit(kCrashExitCode);
+  }
+  if (f.inject_error) {
+    return Status::Unavailable("injected store-write failure");
+  }
+  Status s = PwriteAll(data_fd_, buf, kPageSize, SlotOffset(id, slot));
+  if (!s.ok()) return s;
+  const uint32_t crc = Crc32(buf, kPageSize);
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_[id] = SlotInfo{slot, crc};
+  return Status::OK();
+}
+
+Status FileStore::PublishManifestLocked(
+    const StoreMeta& meta,
+    const std::unordered_map<PageId, SlotInfo>& table) {
+  std::string blob;
+  blob.reserve(64 + 12 * table.size() + 4 * meta.free_pages.size());
+  Put64(&blob, kManifestMagic);
+  Put32(&blob, kManifestVersion);
+  Put64(&blob, meta.checkpoint_epoch);
+  Put32(&blob, meta.next_fresh);
+  Put64(&blob, meta.tree_size);
+  Put64(&blob, meta.max_key);
+  Put32(&blob, meta.rightmost_leaf);
+  Put32(&blob, static_cast<uint32_t>(meta.leftmost.size()));
+  for (PageId id : meta.leftmost) Put32(&blob, id);
+  Put32(&blob, static_cast<uint32_t>(meta.free_pages.size()));
+  for (PageId id : meta.free_pages) Put32(&blob, id);
+  Put32(&blob, static_cast<uint32_t>(table.size()));
+  for (const auto& kv : table) {
+    Put32(&blob, kv.first);
+    Put32(&blob, kv.second.slot);
+    Put32(&blob, kv.second.crc);
+  }
+  Put32(&blob, Crc32(blob.data(), blob.size()));
+
+  const std::string tmp_path = dir_ + "/" + kManifestTmpName;
+  const std::string final_path = dir_ + "/" + kManifestName;
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("open ") + tmp_path + ": " +
+                               std::strerror(errno));
+  }
+  Status s = PwriteAll(fd, blob.data(), blob.size(), 0);
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::Unavailable(std::string("fsync manifest: ") +
+                            std::strerror(errno));
+  }
+  ::close(fd);
+  if (!s.ok()) return s;
+
+  // The tmp manifest is durable; the rename below is the commit point.
+  const FaultOutcome f =
+      FaultInjector::TrapsArmed()
+          ? FaultInjector::Instance().Evaluate("manifest-rename")
+          : FaultOutcome();
+  if (f.crash) std::_Exit(kCrashExitCode);
+  if (f.inject_error) {
+    return Status::Unavailable("injected manifest-rename failure");
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Unavailable(std::string("rename manifest: ") +
+                               std::strerror(errno));
+  }
+  if (::fsync(dir_fd_) != 0) {
+    return Status::Unavailable(std::string("fsync dir: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FileStore::Commit(StoreMeta* meta) {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  const FaultOutcome f = FaultInjector::TrapsArmed()
+                             ? FaultInjector::Instance().Evaluate("store-fsync")
+                             : FaultOutcome();
+  if (f.crash) std::_Exit(kCrashExitCode);
+  if (f.inject_error) {
+    return Status::Unavailable("injected store-fsync failure");
+  }
+  if (::fsync(data_fd_) != 0) {
+    return Status::Unavailable(std::string("fsync pages.dat: ") +
+                               std::strerror(errno));
+  }
+
+  std::unordered_map<PageId, SlotInfo> merged = committed_;
+  for (const auto& kv : pending_) merged[kv.first] = kv.second;
+  meta->checkpoint_epoch = committed_epoch_ + 1;
+
+  Status s = PublishManifestLocked(*meta, merged);
+  if (!s.ok()) return s;
+
+  committed_ = std::move(merged);
+  committed_epoch_ = meta->checkpoint_epoch;
+  pending_.clear();
+  has_checkpoint_ = true;
+
+  // The checkpoint is durable from here; this site exists so the crash
+  // harness can verify that a post-commit death recovers the NEW epoch.
+  const FaultOutcome g =
+      FaultInjector::TrapsArmed()
+          ? FaultInjector::Instance().Evaluate("checkpoint-commit")
+          : FaultOutcome();
+  if (g.crash) std::_Exit(kCrashExitCode);
+  return Status::OK();
+}
+
+}  // namespace obtree

@@ -1,0 +1,53 @@
+// Copyright 2026 The obtree Authors.
+//
+// MemStore: the default, non-persistent PageStore. Pages live only in the
+// PageManager's RAM arena, exactly as before the PageStore interface
+// existed: the manager sees persistent() == false and never runs its
+// residency, eviction, or checkpoint machinery, so the hot paths are
+// bit-for-bit the pre-interface code. The store methods exist only to
+// satisfy the interface and are never reached in that configuration.
+
+#ifndef OBTREE_STORAGE_MEM_STORE_H_
+#define OBTREE_STORAGE_MEM_STORE_H_
+
+#include <cstring>
+
+#include "obtree/storage/page_store.h"
+
+namespace obtree {
+
+/// No-op in-memory backend (the default PageStore).
+class MemStore : public PageStore {
+ public:
+  MemStore() = default;
+
+  bool persistent() const override { return false; }
+
+  Status ReadPage(PageId id, void* buf) override {
+    (void)id;
+    std::memset(buf, 0, kPageSize);  // never-written pages read as zeros
+    return Status::OK();
+  }
+
+  Status WritePage(PageId id, const void* buf) override {
+    (void)id;
+    (void)buf;
+    return Status::OK();
+  }
+
+  Status Commit(StoreMeta* meta) override {
+    (void)meta;
+    return Status::FailedPrecondition("MemStore cannot checkpoint");
+  }
+
+  /// The process-wide shared instance PageManager defaults to (stateless,
+  /// so one object serves every manager).
+  static MemStore* Shared() {
+    static MemStore instance;
+    return &instance;
+  }
+};
+
+}  // namespace obtree
+
+#endif  // OBTREE_STORAGE_MEM_STORE_H_

@@ -29,6 +29,7 @@
 #define OBTREE_STORAGE_PAGE_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "obtree/storage/page.h"
+#include "obtree/storage/page_store.h"
 #include "obtree/storage/paper_lock.h"
 #include "obtree/util/common.h"
 #include "obtree/util/epoch.h"
@@ -51,7 +53,21 @@ class PageManager {
   /// @param epoch governs deferred release of retired pages (§5.3); must
   ///              outlive the manager.
   /// @param stats counter sink; must outlive the manager. May not be null.
-  PageManager(EpochManager* epoch, StatsCollector* stats);
+  /// @param store backing device for page images (must outlive the
+  ///              manager). nullptr selects the shared MemStore: pages
+  ///              live only in the RAM arena and every store-related
+  ///              path below (residency, eviction, checkpoint gate)
+  ///              is compiled out of the hot paths behind one plain
+  ///              bool, preserving the pre-PageStore behavior exactly.
+  ///              A persistent store (FileStore) turns the arena into a
+  ///              buffer pool over the store: non-resident pages fault
+  ///              in on access (kStoreReads), dirty pages stage out on
+  ///              eviction and checkpoint (kStoreWrites).
+  /// @param buffer_pool_pages resident-page budget for a persistent
+  ///              store (0 = unbounded); see
+  ///              TreeOptions::buffer_pool_pages.
+  PageManager(EpochManager* epoch, StatsCollector* stats,
+              PageStore* store = nullptr, uint32_t buffer_pool_pages = 0);
   ~PageManager();
   OBTREE_DISALLOW_COPY_AND_ASSIGN(PageManager);
 
@@ -348,10 +364,73 @@ class PageManager {
   /// The counter sink every operation reports to (not owned).
   StatsCollector* stats() const { return stats_; }
 
+  // --- persistence (active only over a persistent PageStore) -------------
+
+  /// True when this manager pages against a persistent store.
+  bool persistent() const { return paged_; }
+
+  /// The backing store (never null; the shared MemStore by default).
+  PageStore* store() const { return store_; }
+
+  /// Pages currently resident in the arena (== live pages when no
+  /// eviction has happened; only meaningful when persistent()).
+  size_t resident_pages() const {
+    return resident_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Adopt a recovered checkpoint's allocator state: the fresh-page
+  /// frontier and free list from the manifest. Every page below the
+  /// frontier starts NON-resident (faulted in from the store on first
+  /// access). Call once, before any concurrent use.
+  void RestoreFromMeta(const StoreMeta& meta);
+
+  /// Checkpoint barrier. Blocks until every in-flight mutator (thread
+  /// inside a MutatorScope or holding >= 1 paper lock) drains and holds
+  /// new mutators out — readers are never gated — then invokes
+  /// `fill_tree_meta` to capture the tree-level state (prime block,
+  /// size, hints) at the barrier, flushes every dirty resident page to
+  /// the store, snapshots the allocator state, and commits the store
+  /// manifest. On return with OK the checkpoint is durable and contains
+  /// every operation whose MutatorScope closed before the barrier.
+  /// FailedPrecondition unless persistent(); must not be called from a
+  /// thread holding paper locks or inside a MutatorScope.
+  Status Checkpoint(const std::function<void(StoreMeta*)>& fill_tree_meta);
+
+  /// RAII shared hold on the checkpoint gate for one WHOLE logical
+  /// mutation (an insert/delete including its split ascent, or one
+  /// compression rearrangement). The gate is reentrant per thread:
+  /// paper-lock acquisitions inside an open scope do not re-enter it, so
+  /// a checkpoint can never cut BETWEEN the lock-holding steps of a
+  /// multi-step restructuring (e.g. after a split wrote the halves but
+  /// before the separator reached the parent) — such half-states are
+  /// valid B-link states but are not fixpoints the checker or a
+  /// recovered tree should ever start from. No-op over a non-persistent
+  /// manager. Cheap: one thread-local increment when no checkpoint is
+  /// pending.
+  class MutatorScope {
+   public:
+    explicit MutatorScope(PageManager* pm)
+        : pm_(pm != nullptr && pm->persistent() ? pm : nullptr) {
+      if (pm_ != nullptr) pm_->EnterMutatorGate();
+    }
+    ~MutatorScope() {
+      if (pm_ != nullptr) pm_->ExitMutatorGate();
+    }
+    OBTREE_DISALLOW_COPY_AND_ASSIGN(MutatorScope);
+
+   private:
+    PageManager* pm_;
+  };
+
  private:
+  // Residency bits of Slot::state (consulted only when paged_).
+  static constexpr uint32_t kSlotResident = 1u;
+  static constexpr uint32_t kSlotDirty = 2u;
+
   struct Slot {
     std::atomic<uint64_t> seq{0};  // seqlock: odd while a put is in flight
     PaperLock paper_lock;          // 4-byte spin-then-park lock
+    std::atomic<uint32_t> state{0};  // kSlotResident | kSlotDirty
     Page page;
   };
 
@@ -367,6 +446,43 @@ class PageManager {
   void EnsureChunk(size_t chunk_index);
   void MaybeSimulateIo() const;
 
+  // --- buffer-pool internals (paged_ only) --------------------------------
+
+  // Fault `id` into the arena if non-resident (no-op otherwise): seqlock
+  // odd, read the store image into a scratch buffer, publish it into the
+  // live page via relaxed word stores, mark resident, seqlock even.
+  // Errors (checksum mismatch, transient I/O) leave the page
+  // non-resident with its version restored.
+  Status EnsureResident(PageId id, Slot* slot) const;
+  Status FaultInSlot(PageId id, Slot* slot) const;
+
+  // Mark a page resident + dirty after a full-image write (Allocate/Put
+  // define the whole content, so no store read is needed). Caller holds
+  // the slot's seqlock odd or is the sole referent (fresh allocation).
+  void MarkResidentDirty(Slot* slot) const;
+
+  // Clock sweep: while the resident count exceeds the pool budget, pick
+  // victims round-robin, stage dirty ones to the store, zero the arena
+  // copy and clear residency. Skips pages whose paper lock or seqlock is
+  // held (a locked page may be pinned by an in-place reader/writer).
+  void MaybeEvict() const;
+  bool TryEvictSlot(PageId id) const;
+
+  // Checkpoint gate (persistent mode only): mutators hold it shared —
+  // normally for a whole logical operation via MutatorScope, with the
+  // paper-lock span (first lock acquired -> last released) as a
+  // defense-in-depth fallback for unwrapped paths — and Checkpoint
+  // holds it exclusive. Reentrant per thread (a thread-local depth
+  // counter): only the 0->1 transition waits and counts, only 1->0
+  // releases, so a scope holder acquiring paper locks never re-waits
+  // and cannot deadlock against a pending checkpoint. Readers never
+  // touch the gate. A dedicated writer-count + flag instead of a
+  // shared_mutex so the checkpointer cannot be starved by
+  // reader-preferring implementations.
+  void EnterMutatorGate();
+  bool TryEnterMutatorGate();
+  void ExitMutatorGate();
+
   // Slow-path helper for Lock/TryLockSpin: runs once an acquisition has
   // found the lock held. Returns true with the lock held (recording the
   // wait time and park count), false when `bounded` gave up.
@@ -374,6 +490,22 @@ class PageManager {
 
   EpochManager* const epoch_;
   StatsCollector* const stats_;
+  PageStore* const store_;   // never null (MemStore::Shared() by default)
+  const bool paged_;         // store_->persistent(): gates all pool logic
+  const uint32_t pool_cap_;  // 0 = unbounded
+  mutable std::atomic<size_t> resident_count_{0};
+
+  // Eviction sweep state; evict_mu_ also excludes eviction from the
+  // checkpoint flush.
+  mutable std::mutex evict_mu_;
+  mutable size_t clock_hand_ = 0;
+
+  // Checkpoint gate.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int active_mutators_ = 0;
+  bool checkpoint_blocking_ = false;
+
   std::atomic<uint64_t> simulated_io_ns_{0};
   std::atomic<uint32_t> lock_spin_budget_{64};
   std::atomic<uint32_t> lock_backoff_max_{256};

@@ -80,6 +80,7 @@ FaultOutcome FaultInjector::Evaluate(const char* site, bool error_eligible) {
       return out;
     }
     const uint64_t hit = ++s.hits;
+    if (hit <= s.spec.skip_first) return out;
     if (s.spec.every_nth > 1 && (hit - 1) % s.spec.every_nth != 0) return out;
     if (s.spec.probability < 1.0) {
       const double roll =
@@ -94,6 +95,10 @@ FaultOutcome FaultInjector::Evaluate(const char* site, bool error_eligible) {
     }
     if (s.spec.action == FaultAction::kError) {
       out.inject_error = true;
+      return out;
+    }
+    if (s.spec.action == FaultAction::kCrash) {
+      out.crash = true;
       return out;
     }
     stall_us = s.spec.stall_us;

@@ -50,7 +50,19 @@ enum class FaultAction : unsigned char {
   /// The site sleeps for FaultSpec::stall_us microseconds, widening race
   /// windows without failing.
   kStall = 1,
+  /// The PROCESS dies at the site (the durability-test "power cut").
+  /// Evaluate() reports the fire in FaultOutcome::crash and leaves the
+  /// actual death to the call site, so a site can model a torn write
+  /// (persist a partial image, then _Exit) rather than just vanish;
+  /// sites with nothing to tear call std::_Exit(kCrashExitCode)
+  /// immediately. Only meaningful in a child process a test harness can
+  /// wait on (see tests/storage/crash_recovery_test.cc).
+  kCrash = 2,
 };
+
+/// Exit code a kCrash fire terminates the process with, so the parent
+/// harness can tell an injected crash from an ordinary test failure.
+inline constexpr int kCrashExitCode = 42;
 
 /// Trigger + behavior description for one failpoint site.
 struct FaultSpec {
@@ -63,6 +75,12 @@ struct FaultSpec {
   /// If non-zero, fire only on every Nth eligible hit (1st, N+1th, ...).
   /// Composes with `probability` (the dice roll happens on those hits).
   uint64_t every_nth = 0;
+
+  /// Swallow this many eligible hits before the site may fire (they still
+  /// count as hits). skip_first = k-1 with max_fires = 1 fires at exactly
+  /// the k-th eligible hit — how the crash harness enumerates kill points:
+  /// count a fault-free run's hits, then replay, dying at each ordinal.
+  uint64_t skip_first = 0;
 
   /// If non-zero, disarm the site automatically after this many fires
   /// (1 = one-shot).
@@ -80,9 +98,12 @@ struct FaultSpec {
 
 /// Result of evaluating a site: at most one of the fields is set. Stalls
 /// are performed by Evaluate() itself (outside the registry lock);
-/// `stall_us` reports how long it slept.
+/// `stall_us` reports how long it slept. A kCrash fire sets `crash`; the
+/// call site must then terminate the process (after persisting whatever
+/// partial state the scenario calls for).
 struct FaultOutcome {
   bool inject_error = false;
+  bool crash = false;
   uint64_t stall_us = 0;
 };
 

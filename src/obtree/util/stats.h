@@ -146,6 +146,16 @@ enum class StatId : int {
   kBatchIoOverlapped,    ///< simulated-I/O waits the engine issued
                          ///< together with a round's group leader instead
                          ///< of serially (PageManager::PrefetchPages)
+  kStoreReads,           ///< page images faulted into the arena from the
+                         ///< PageStore backend (FileStore pread + verify)
+  kStoreWrites,          ///< page images staged to the backend: dirty
+                         ///< evictions plus checkpoint flushes
+  kPagesEvicted,         ///< resident pages the buffer-pool clock evicted
+                         ///< to stay within TreeOptions::buffer_pool_pages
+  kCheckpoints,          ///< successful Checkpoint() barriers (manifest
+                         ///< committed)
+  kRecoveries,           ///< trees rebuilt from a committed checkpoint at
+                         ///< construction
   kNumStats,
 };
 

@@ -24,6 +24,10 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

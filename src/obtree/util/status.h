@@ -26,6 +26,8 @@ class Status {
     kAborted = 5,
     kInternal = 6,
     kUnavailable = 7,
+    kFailedPrecondition = 8,
+    kDataLoss = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -54,6 +56,17 @@ class Status {
   static Status Unavailable(std::string msg = "") {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// The operation requires state the object does not have (e.g.
+  /// Checkpoint() on a map with no persistent store, Recover() with no
+  /// manifest on disk). Not retryable without changing the setup.
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  /// Unrecoverable corruption: a stored page image failed its checksum,
+  /// or the manifest is torn beyond its committed generation.
+  static Status DataLoss(std::string msg = "") {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -65,6 +78,10 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -6,14 +6,17 @@
 // hand-picked cases in the unit tests.
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obtree/api/concurrent_map.h"
 #include "obtree/core/compression_queue.h"
 #include "obtree/core/queue_compressor.h"
 #include "obtree/core/sagiv_tree.h"
@@ -298,6 +301,187 @@ TEST_P(ScanSweep, WindowsMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Strides, ScanSweep,
                          ::testing::Values(1, 2, 3, 7, 13, 97));
+
+// ---------------------------------------------------------------------------
+// Sweep 5: persistence round trip — any op sequence (upserts, erases,
+// interior checkpoints), checkpointed and recovered from disk, must match
+// the reference model exactly. A violating sequence is delta-debugged
+// down to a minimal reproducer before the test reports it.
+// ---------------------------------------------------------------------------
+
+struct PersistOp {
+  enum Kind { kUpsert, kErase, kCheckpoint };
+  Kind kind;
+  Key key;
+  Value value;
+};
+
+std::vector<PersistOp> GenPersistOps(uint64_t seed, size_t n, Key key_space) {
+  Random rng(seed);
+  std::vector<PersistOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PersistOp op;
+    const double p = rng.NextDouble();
+    if (p < 0.02) {
+      op.kind = PersistOp::kCheckpoint;
+      op.key = 0;
+      op.value = 0;
+    } else if (p < 0.62) {
+      op.kind = PersistOp::kUpsert;
+      op.key = rng.UniformRange(1, key_space);
+      op.value = rng.Next();
+    } else {
+      op.kind = PersistOp::kErase;
+      op.key = rng.UniformRange(1, key_space);
+      op.value = 0;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+MapOptions PersistSweepOptions(const std::string& dir) {
+  MapOptions options;
+  options.compression = CompressionMode::kNone;
+  options.tree.storage_dir = dir;
+  options.tree.min_entries = 4;
+  return options;
+}
+
+// Run `ops` against a fresh persistent map AND a std::map model, final
+// checkpoint, reopen from disk, compare. Returns "" when the property
+// holds, else a description of the first divergence.
+std::string RoundTripViolation(const std::vector<PersistOp>& ops,
+                               const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  const MapOptions options = PersistSweepOptions(dir);
+  std::map<Key, Value> model;
+  {
+    ConcurrentMap map(options);
+    if (!map.init_status().ok()) {
+      return "open: " + map.init_status().ToString();
+    }
+    for (const PersistOp& op : ops) {
+      switch (op.kind) {
+        case PersistOp::kUpsert:
+          (void)map.Upsert(op.key, op.value);
+          model[op.key] = op.value;
+          break;
+        case PersistOp::kErase:
+          (void)map.Erase(op.key);
+          model.erase(op.key);
+          break;
+        case PersistOp::kCheckpoint: {
+          Status s = map.Checkpoint();
+          if (!s.ok()) return "interior checkpoint: " + s.ToString();
+          break;
+        }
+      }
+    }
+    Status s = map.Checkpoint();
+    if (!s.ok()) return "final checkpoint: " + s.ToString();
+  }
+
+  Result<std::unique_ptr<ConcurrentMap>> r = ConcurrentMap::Recover(options);
+  if (!r.ok()) return "recover: " + r.status().ToString();
+  ConcurrentMap& map = **r;
+  Status valid = map.ValidateStructure();
+  if (!valid.ok()) return "structure: " + valid.ToString();
+  if (map.Size() != model.size()) {
+    return "size " + std::to_string(map.Size()) + " != model " +
+           std::to_string(model.size());
+  }
+  std::string mismatch;
+  auto it = model.begin();
+  map.Scan(1, kMaxUserKey, [&](Key k, Value v) {
+    if (it == model.end()) {
+      mismatch = "extra key " + std::to_string(k);
+      return false;
+    }
+    if (k != it->first || v != it->second) {
+      mismatch = "got (" + std::to_string(k) + "," + std::to_string(v) +
+                 ") want (" + std::to_string(it->first) + "," +
+                 std::to_string(it->second) + ")";
+      return false;
+    }
+    ++it;
+    return true;
+  });
+  if (mismatch.empty() && it != model.end()) {
+    mismatch = "missing key " + std::to_string(it->first);
+  }
+  return mismatch;
+}
+
+// Greedy ddmin: repeatedly drop chunks (halving the chunk size) while the
+// violation persists. Bounded by `budget` predicate evaluations so a
+// pathological failure cannot hang the suite.
+std::vector<PersistOp> ShrinkOps(std::vector<PersistOp> ops,
+                                 const std::string& dir, int budget) {
+  size_t chunk = ops.size() / 2;
+  while (chunk > 0 && budget > 0) {
+    bool removed_any = false;
+    for (size_t start = 0; start + chunk <= ops.size() && budget > 0;) {
+      std::vector<PersistOp> cand;
+      cand.reserve(ops.size() - chunk);
+      cand.insert(cand.end(), ops.begin(),
+                  ops.begin() + static_cast<long>(start));
+      cand.insert(cand.end(), ops.begin() + static_cast<long>(start + chunk),
+                  ops.end());
+      --budget;
+      if (!RoundTripViolation(cand, dir).empty()) {
+        ops = std::move(cand);
+        removed_any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return ops;
+}
+
+std::string DumpOps(const std::vector<PersistOp>& ops) {
+  std::string out;
+  for (const PersistOp& op : ops) {
+    switch (op.kind) {
+      case PersistOp::kUpsert:
+        out += "  Upsert(" + std::to_string(op.key) + ", " +
+               std::to_string(op.value) + ")\n";
+        break;
+      case PersistOp::kErase:
+        out += "  Erase(" + std::to_string(op.key) + ")\n";
+        break;
+      case PersistOp::kCheckpoint:
+        out += "  Checkpoint()\n";
+        break;
+    }
+  }
+  return out;
+}
+
+class PersistenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PersistenceSweep, CheckpointRecoverRoundTripMatchesModel) {
+  const uint64_t seed = GetParam();
+  const std::string dir =
+      ::testing::TempDir() + "obtree_prop_persist_" + std::to_string(seed);
+  const std::vector<PersistOp> ops =
+      GenPersistOps(seed, 1500, 300 + (seed % 5) * 200);
+  const std::string violation = RoundTripViolation(ops, dir);
+  if (!violation.empty()) {
+    const std::vector<PersistOp> minimal =
+        ShrinkOps(ops, dir, /*budget=*/200);
+    FAIL() << "seed " << seed << ": " << violation
+           << "\nminimal reproducer (" << minimal.size() << " of "
+           << ops.size() << " ops):\n" << DumpOps(minimal);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
 
 }  // namespace
 }  // namespace obtree

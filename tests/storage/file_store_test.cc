@@ -1,0 +1,338 @@
+// Copyright 2026 The obtree Authors.
+//
+// Backend unit tests of FileStore: page round trips through the shadow
+// (ping-pong) slot pairs, manifest atomicity, checksum verification on
+// read-back, and the PageManager-level buffer pool over it (fault-in,
+// eviction, counters). Crash injection is exercised separately by
+// crash_recovery_test (it forks); everything here stays in-process.
+
+#include "obtree/storage/file_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obtree/storage/page_manager.h"
+#include "obtree/util/epoch.h"
+#include "obtree/util/fault_injector.h"
+#include "obtree/util/stats.h"
+
+namespace obtree {
+namespace {
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "obtree_fs_" + info->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+Page MakePage(uint8_t fill) {
+  Page p;
+  std::memset(p.bytes, fill, kPageSize);
+  return p;
+}
+
+TEST_F(FileStoreTest, OpenCreatesDirectoryAndEmptyStore) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_FALSE((*store)->has_checkpoint());
+  EXPECT_EQ((*store)->checkpoint_epoch(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/pages.dat"));
+}
+
+TEST_F(FileStoreTest, UnknownPageReadsAsZeroes) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Page p = MakePage(0xff);
+  ASSERT_TRUE((*store)->ReadPage(7, p.bytes).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(p.bytes[i], 0u) << i;
+}
+
+TEST_F(FileStoreTest, WriteCommitReadRoundTrip) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const Page w = MakePage(0xab);
+  ASSERT_TRUE((*store)->WritePage(3, w.bytes).ok());
+  // Staged writes are readable before the commit (the buffer pool may
+  // evict and re-fault a page between checkpoints).
+  Page r;
+  ASSERT_TRUE((*store)->ReadPage(3, r.bytes).ok());
+  EXPECT_EQ(std::memcmp(w.bytes, r.bytes, kPageSize), 0);
+
+  StoreMeta meta;
+  meta.next_fresh = 4;
+  ASSERT_TRUE((*store)->Commit(&meta).ok());
+  EXPECT_TRUE((*store)->has_checkpoint());
+  EXPECT_EQ((*store)->checkpoint_epoch(), 1u);
+  ASSERT_TRUE((*store)->ReadPage(3, r.bytes).ok());
+  EXPECT_EQ(std::memcmp(w.bytes, r.bytes, kPageSize), 0);
+}
+
+TEST_F(FileStoreTest, ReopenRecoversCommittedState) {
+  {
+    auto store = FileStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    const Page w = MakePage(0x5a);
+    ASSERT_TRUE((*store)->WritePage(0, w.bytes).ok());
+    StoreMeta meta;
+    meta.next_fresh = 1;
+    meta.tree_size = 42;
+    meta.max_key = 999;
+    meta.rightmost_leaf = 0;
+    meta.leftmost = {0};
+    meta.free_pages = {};
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+  }
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->has_checkpoint());
+  EXPECT_EQ((*store)->checkpoint_epoch(), 1u);
+  const StoreMeta& meta = (*store)->recovered_meta();
+  EXPECT_EQ(meta.next_fresh, 1u);
+  EXPECT_EQ(meta.tree_size, 42u);
+  EXPECT_EQ(meta.max_key, 999u);
+  EXPECT_EQ(meta.rightmost_leaf, 0u);
+  ASSERT_EQ(meta.leftmost.size(), 1u);
+  Page r;
+  ASSERT_TRUE((*store)->ReadPage(0, r.bytes).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(r.bytes[i], 0x5au) << i;
+}
+
+// An uncommitted write must never displace the committed image: it lands
+// in the shadow slot, and a reopen (which drops the pending table) reads
+// the committed one.
+TEST_F(FileStoreTest, UncommittedWriteDoesNotReplaceCommittedImage) {
+  {
+    auto store = FileStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    const Page v1 = MakePage(0x11);
+    ASSERT_TRUE((*store)->WritePage(5, v1.bytes).ok());
+    StoreMeta meta;
+    meta.next_fresh = 6;
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+    const Page v2 = MakePage(0x22);
+    ASSERT_TRUE((*store)->WritePage(5, v2.bytes).ok());
+    // No commit: v2 sits in the shadow slot only.
+  }
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Page r;
+  ASSERT_TRUE((*store)->ReadPage(5, r.bytes).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(r.bytes[i], 0x11u) << i;
+}
+
+// Successive committed versions of one page ping-pong between its two
+// slots; each commit's image must read back intact.
+TEST_F(FileStoreTest, SlotPingPongAcrossCommits) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  for (uint8_t round = 1; round <= 5; ++round) {
+    const Page w = MakePage(round);
+    ASSERT_TRUE((*store)->WritePage(2, w.bytes).ok());
+    StoreMeta meta;
+    meta.next_fresh = 3;
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+    Page r;
+    ASSERT_TRUE((*store)->ReadPage(2, r.bytes).ok());
+    EXPECT_EQ(std::memcmp(w.bytes, r.bytes, kPageSize), 0) << int{round};
+    EXPECT_EQ((*store)->checkpoint_epoch(), round);
+  }
+}
+
+// Flipping a bit in the committed slot must surface as DataLoss on read,
+// not as silently wrong bytes.
+TEST_F(FileStoreTest, CorruptedPageImageReadsAsDataLoss) {
+  uint64_t offset_of_committed_slot = 0;
+  {
+    auto store = FileStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    const Page w = MakePage(0x77);
+    ASSERT_TRUE((*store)->WritePage(0, w.bytes).ok());
+    StoreMeta meta;
+    meta.next_fresh = 1;
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+    // Find which slot the commit landed in by checking the first byte of
+    // both: exactly one holds 0x77.
+  }
+  {
+    std::FILE* f = std::fopen((dir_ + "/pages.dat").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    unsigned char b0 = 0;
+    ASSERT_EQ(std::fread(&b0, 1, 1, f), 1u);
+    offset_of_committed_slot = (b0 == 0x77) ? 0 : kPageSize;
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset_of_committed_slot + 100),
+                         SEEK_SET),
+              0);
+    const unsigned char flipped = 0x77 ^ 0x01;
+    ASSERT_EQ(std::fwrite(&flipped, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Page r;
+  Status s = (*store)->ReadPage(0, r.bytes);
+  EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+}
+
+// A torn manifest (trailing checksum broken) must fail Open loudly.
+TEST_F(FileStoreTest, CorruptedManifestFailsOpen) {
+  {
+    auto store = FileStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    StoreMeta meta;
+    meta.next_fresh = 0;
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+  }
+  {
+    std::FILE* f = std::fopen((dir_ + "/MANIFEST").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    unsigned char last = 0;
+    ASSERT_EQ(std::fread(&last, 1, 1, f), 1u);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    last ^= 0xff;
+    ASSERT_EQ(std::fwrite(&last, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  auto store = FileStore::Open(dir_);
+  EXPECT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsDataLoss()) << store.status().ToString();
+}
+
+// A leftover MANIFEST.tmp (crash between the tmp fsync and the rename)
+// must be ignored: the previous commit, if any, stays authoritative.
+TEST_F(FileStoreTest, LeftoverManifestTmpIsDiscarded) {
+  {
+    auto store = FileStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    StoreMeta meta;
+    meta.next_fresh = 1;
+    meta.tree_size = 7;
+    ASSERT_TRUE((*store)->Commit(&meta).ok());
+  }
+  {
+    std::FILE* f = std::fopen((dir_ + "/MANIFEST.tmp").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn future manifest", f);
+    std::fclose(f);
+  }
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->has_checkpoint());
+  EXPECT_EQ((*store)->recovered_meta().tree_size, 7u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/MANIFEST.tmp"));
+}
+
+// kError on the durability sites surfaces Unavailable without advancing
+// the committed state, and a later clean Commit still lands everything.
+TEST_F(FileStoreTest, TransientCommitFailureIsRetryable) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const Page w = MakePage(0x33);
+  ASSERT_TRUE((*store)->WritePage(1, w.bytes).ok());
+
+  FaultSpec fail_once;
+  fail_once.action = FaultAction::kError;
+  fail_once.probability = 1.0;
+  fail_once.max_fires = 1;
+  FaultInjector::Instance().Arm("store-fsync", fail_once);
+  StoreMeta meta;
+  meta.next_fresh = 2;
+  Status s = (*store)->Commit(&meta);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ((*store)->checkpoint_epoch(), 0u);
+  FaultInjector::Instance().DisarmAll();
+
+  ASSERT_TRUE((*store)->Commit(&meta).ok());
+  EXPECT_EQ((*store)->checkpoint_epoch(), 1u);
+  Page r;
+  ASSERT_TRUE((*store)->ReadPage(1, r.bytes).ok());
+  EXPECT_EQ(std::memcmp(w.bytes, r.bytes, kPageSize), 0);
+}
+
+// --- PageManager-over-FileStore: buffer pool ------------------------------
+
+class BufferPoolTest : public FileStoreTest {};
+
+TEST_F(BufferPoolTest, EvictionStagesDirtyPagesAndFaultsThemBack) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  EpochManager epoch;
+  StatsCollector stats;
+  // Pool budget of 64 (the minimum TreeOptions accepts) with many more
+  // pages than that: allocation-triggered sweeps must evict.
+  PageManager pm(&epoch, &stats, store->get(), /*buffer_pool_pages=*/64);
+  ASSERT_TRUE(pm.persistent());
+
+  constexpr uint32_t kPages = 256;
+  std::vector<PageId> ids;
+  for (uint32_t i = 0; i < kPages; ++i) {
+    auto id = pm.Allocate();
+    ASSERT_TRUE(id.ok());
+    Page w = MakePage(static_cast<uint8_t>(*id & 0xff));
+    w.bytes[0] = static_cast<uint8_t>(*id >> 8);  // make pages distinct
+    pm.Put(*id, w);
+    ids.push_back(*id);
+  }
+  EXPECT_LE(pm.resident_pages(), 2u * 64u);  // sweep keeps it near budget
+  EXPECT_GT(stats.Get(StatId::kPagesEvicted), 0u);
+  EXPECT_GT(stats.Get(StatId::kStoreWrites), 0u);
+
+  // Every page reads back intact — evicted ones fault in from the store.
+  for (PageId id : ids) {
+    Page r;
+    ASSERT_TRUE(pm.Get(id, &r).ok()) << id;
+    EXPECT_EQ(r.bytes[0], static_cast<uint8_t>(id >> 8)) << id;
+    EXPECT_EQ(r.bytes[1], static_cast<uint8_t>(id & 0xff)) << id;
+  }
+  EXPECT_GT(stats.Get(StatId::kStoreReads), 0u);
+}
+
+TEST_F(BufferPoolTest, CheckpointFlushesDirtyPagesAndCounts) {
+  auto store = FileStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats, store->get(), /*buffer_pool_pages=*/0);
+
+  auto id = pm.Allocate();
+  ASSERT_TRUE(id.ok());
+  const Page w = MakePage(0x44);
+  pm.Put(*id, w);
+
+  Status s = pm.Checkpoint([](StoreMeta* meta) { meta->tree_size = 1; });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.Get(StatId::kCheckpoints), 1u);
+  EXPECT_GE(stats.Get(StatId::kStoreWrites), 1u);
+  EXPECT_EQ((*store)->checkpoint_epoch(), 1u);
+
+  // Clean pages are not re-staged by the next checkpoint.
+  const uint64_t writes_before = stats.Get(StatId::kStoreWrites);
+  ASSERT_TRUE(pm.Checkpoint([](StoreMeta*) {}).ok());
+  EXPECT_EQ(stats.Get(StatId::kStoreWrites), writes_before);
+}
+
+TEST_F(BufferPoolTest, CheckpointOnMemStoreIsFailedPrecondition) {
+  EpochManager epoch;
+  StatsCollector stats;
+  PageManager pm(&epoch, &stats);  // default MemStore
+  EXPECT_FALSE(pm.persistent());
+  Status s = pm.Checkpoint([](StoreMeta*) {});
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace obtree
